@@ -1,0 +1,136 @@
+// Command echoimage-client talks to the echoimaged daemon: it simulates a
+// roster subject's capture (the hardware stand-in) and submits it for
+// enrollment or authentication.
+//
+// Usage:
+//
+//	echoimage-client -addr 127.0.0.1:7465 enroll -user 3 -distance 0.7 -retrain
+//	echoimage-client -addr 127.0.0.1:7465 auth -user 3 -distance 0.7 -session 3
+//	echoimage-client -addr 127.0.0.1:7465 status
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"echoimage"
+	"echoimage/internal/proto"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "echoimage-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:7465", "daemon address")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		return fmt.Errorf("usage: echoimage-client [-addr host:port] enroll|auth|status [flags]")
+	}
+	cmd := flag.Arg(0)
+
+	sub := flag.NewFlagSet(cmd, flag.ExitOnError)
+	user := sub.Int("user", 1, "roster subject ID (1-20)")
+	distance := sub.Float64("distance", 0.7, "user-array distance, meters")
+	session := sub.Int("session", 1, "collection session (varies stance)")
+	beeps := sub.Int("beeps", 12, "number of probe chirps")
+	seed := sub.Int64("seed", 0, "noise realization seed")
+	retrain := sub.Bool("retrain", false, "retrain the model after enrolling")
+	if err := sub.Parse(flag.Args()[1:]); err != nil {
+		return err
+	}
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", *addr, err)
+	}
+	defer conn.Close()
+	pc := proto.NewConn(conn)
+
+	switch cmd {
+	case "status":
+		if err := pc.Send(proto.TypeStatusRequest, nil); err != nil {
+			return err
+		}
+		env, err := pc.Receive()
+		if err != nil {
+			return err
+		}
+		var resp proto.StatusResponse
+		if err := decode(env, proto.TypeStatusResponse, &resp); err != nil {
+			return err
+		}
+		fmt.Printf("trained=%v users=%v images=%d\n", resp.Trained, resp.Users, resp.TotalImages)
+		return nil
+	case "enroll", "auth":
+		cap, noiseOnly, err := echoimage.Simulate(echoimage.SimulateSpec{
+			UserID:    *user,
+			DistanceM: *distance,
+			Beeps:     *beeps,
+			Session:   *session,
+			Seed:      *seed,
+		})
+		if err != nil {
+			return fmt.Errorf("simulate capture: %w", err)
+		}
+		wire := proto.CaptureWire{Beeps: cap.Beeps, SampleRate: cap.SampleRate, NoiseOnly: noiseOnly, Reference: cap.Reference}
+		if cmd == "enroll" {
+			if err := pc.Send(proto.TypeEnrollRequest, proto.EnrollRequest{
+				UserID: *user, Capture: wire, Retrain: *retrain,
+			}); err != nil {
+				return err
+			}
+			env, err := pc.Receive()
+			if err != nil {
+				return err
+			}
+			var resp proto.EnrollResponse
+			if err := decode(env, proto.TypeEnrollResponse, &resp); err != nil {
+				return err
+			}
+			fmt.Printf("enrolled user %d: +%d images at %.2f m (trained=%v, %d users, %d images total)\n",
+				resp.UserID, resp.Images, resp.DistanceM, resp.Trained, resp.TotalUsers, resp.TotalImages)
+			return nil
+		}
+		if err := pc.Send(proto.TypeAuthRequest, proto.AuthRequest{Capture: wire}); err != nil {
+			return err
+		}
+		env, err := pc.Receive()
+		if err != nil {
+			return err
+		}
+		var resp proto.AuthResponse
+		if err := decode(env, proto.TypeAuthResponse, &resp); err != nil {
+			return err
+		}
+		verdict := "REJECTED (spoofer)"
+		if resp.Accepted {
+			verdict = fmt.Sprintf("ACCEPTED as user %d", resp.UserID)
+		}
+		fmt.Printf("%s (gate score %.3f, ranged %.2f m, %d images)\n",
+			verdict, resp.GateScore, resp.DistanceM, resp.Images)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// decode validates the response type, surfacing daemon-side errors.
+func decode(env *proto.Envelope, want proto.MsgType, into any) error {
+	if env.Type == proto.TypeError {
+		var e proto.ErrorResponse
+		if err := proto.DecodeBody(env, &e); err != nil {
+			return err
+		}
+		return fmt.Errorf("daemon error: %s", e.Message)
+	}
+	if env.Type != want {
+		return fmt.Errorf("unexpected response %q (want %q)", env.Type, want)
+	}
+	return proto.DecodeBody(env, into)
+}

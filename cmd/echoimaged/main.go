@@ -1,0 +1,74 @@
+// Command echoimaged is the EchoImage authentication daemon: a TCP server
+// that accepts captures over the length-prefixed JSON protocol, maintains
+// per-user enrollment, trains the classifier stack and answers
+// authentication requests — the role the smart speaker's on-device service
+// plays.
+//
+// Usage:
+//
+//	echoimaged -listen 127.0.0.1:7465 -grid 36 -spacing 0.05
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"echoimage/internal/array"
+	"echoimage/internal/core"
+	"echoimage/internal/daemon"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "echoimaged:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listenAddr := flag.String("listen", "127.0.0.1:7465", "TCP listen address")
+	gridSize := flag.Int("grid", 36, "imaging grid rows/cols")
+	spacing := flag.Float64("spacing", 0.05, "imaging grid spacing, meters")
+	modelPath := flag.String("model", "", "model file: loaded at startup if present, saved after every retrain")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.GridRows, cfg.GridCols = *gridSize, *gridSize
+	cfg.GridSpacingM = *spacing
+	sys, err := core.NewSystem(cfg, array.ReSpeaker())
+	if err != nil {
+		return fmt.Errorf("build pipeline: %w", err)
+	}
+
+	ln, err := net.Listen("tcp", *listenAddr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	log.Printf("echoimaged listening on %s (grid %dx%d @ %.2f m)", ln.Addr(), *gridSize, *gridSize, *spacing)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := daemon.New(sys, core.DefaultAuthConfig(), log.Printf)
+	if *modelPath != "" {
+		srv.ModelPath = *modelPath
+		if f, err := os.Open(*modelPath); err == nil {
+			loadErr := srv.LoadModel(f)
+			f.Close()
+			if loadErr != nil {
+				return fmt.Errorf("load model %s: %w", *modelPath, loadErr)
+			}
+			log.Printf("loaded model from %s", *modelPath)
+		}
+	}
+	if err := srv.Serve(ctx, ln); err != nil {
+		return err
+	}
+	log.Printf("echoimaged stopped")
+	return nil
+}

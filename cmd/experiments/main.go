@@ -1,0 +1,187 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section at a chosen scale, printing paper-style rows.
+//
+// Usage:
+//
+//	experiments -scale=ci -run=all
+//	experiments -scale=paper -run=fig11
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"echoimage/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scaleName := flag.String("scale", "ci", "experiment scale: quick, ci or paper")
+	runList := flag.String("run", "all", "comma-separated experiments: table1,fig5,fig8,fig11,fig12,fig13,fig14,replay,sessions,singleuser,gateroc,ablation or all")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.Quick()
+	case "ci":
+		scale = experiments.CI()
+	case "paper":
+		scale = experiments.Paper()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*runList, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+	out := os.Stdout
+
+	step := func(name string, f func() error) error {
+		if !all && !want[name] {
+			return nil
+		}
+		start := time.Now()
+		fmt.Fprintf(out, "==== %s (scale %s) ====\n", name, scale.Name)
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(out, "---- %s done in %s ----\n\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if err := step("table1", func() error {
+		experiments.TableI().Write(out)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("fig5", func() error {
+		r, err := experiments.Figure5(scale)
+		if err != nil {
+			return err
+		}
+		r.Write(out)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("fig8", func() error {
+		r, err := experiments.Figure8(scale)
+		if err != nil {
+			return err
+		}
+		r.Write(out)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("fig11", func() error {
+		r, err := experiments.Figure11(scale)
+		if err != nil {
+			return err
+		}
+		r.Write(out)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("fig12", func() error {
+		r, err := experiments.Figure12(scale)
+		if err != nil {
+			return err
+		}
+		r.Write(out)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("fig13", func() error {
+		r, err := experiments.Figure13(scale)
+		if err != nil {
+			return err
+		}
+		r.Write(out)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("fig14", func() error {
+		r, err := experiments.Figure14(scale)
+		if err != nil {
+			return err
+		}
+		r.Write(out)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("replay", func() error {
+		r, err := experiments.ReplayAttack(scale)
+		if err != nil {
+			return err
+		}
+		r.Write(out)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("sessions", func() error {
+		r, err := experiments.SessionStability(scale)
+		if err != nil {
+			return err
+		}
+		r.Write(out)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("singleuser", func() error {
+		r, err := experiments.SingleUser(scale)
+		if err != nil {
+			return err
+		}
+		r.Write(out)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("gateroc", func() error {
+		r, err := experiments.GateROC(scale)
+		if err != nil {
+			return err
+		}
+		r.Write(out)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("ablation", func() error {
+		rows, err := experiments.RangingAblation(scale, 6)
+		if err != nil {
+			return err
+		}
+		experiments.WriteRangingAblation(out, rows)
+		fmt.Fprintln(out)
+		arows, err := experiments.AuthAblation(scale)
+		if err != nil {
+			return err
+		}
+		experiments.WriteAuthAblation(out, arows)
+		return nil
+	}); err != nil {
+		return err
+	}
+	return nil
+}

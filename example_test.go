@@ -1,0 +1,45 @@
+package echoimage_test
+
+import (
+	"fmt"
+
+	"echoimage"
+)
+
+// ExampleRoster shows the deterministic Table I subject roster.
+func ExampleRoster() {
+	roster := echoimage.Roster()
+	first := roster[0]
+	fmt.Printf("%d subjects; subject %d is a %s %s\n",
+		len(roster), first.ID, first.Gender, first.Occupation)
+	// Output:
+	// 20 subjects; subject 1 is a male Undergraduate Student
+}
+
+// ExampleDefaultConfig shows the paper's probe parameters.
+func ExampleDefaultConfig() {
+	cfg := echoimage.DefaultConfig()
+	fmt.Printf("chirp %g-%g Hz, %.0f ms, grid %dx%d @ %.0f cm\n",
+		cfg.Chirp.StartHz, cfg.Chirp.EndHz, cfg.Chirp.Duration*1000,
+		cfg.GridRows, cfg.GridCols, cfg.GridSpacingM*100)
+	// Output:
+	// chirp 2000-3000 Hz, 2 ms, grid 180x180 @ 1 cm
+}
+
+// ExampleSimulate renders a capture of a roster subject — the hardware
+// stand-in for a real microphone array recording.
+func ExampleSimulate() {
+	cap, noiseOnly, err := echoimage.Simulate(echoimage.SimulateSpec{
+		UserID:    1,
+		DistanceM: 0.7,
+		Beeps:     2,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d beeps, %d microphones, %.0f kHz, noise capture %v\n",
+		len(cap.Beeps), len(cap.Beeps[0]), cap.SampleRate/1000, len(noiseOnly) > 0)
+	// Output:
+	// 2 beeps, 6 microphones, 48 kHz, noise capture true
+}

@@ -1,0 +1,3 @@
+module echoimage
+
+go 1.22

@@ -1,0 +1,167 @@
+// Package aimage defines the acoustic image type EchoImage constructs — a
+// 2-D grid of echo-energy pixels over the virtual imaging plane — together
+// with the resizing, normalization, comparison and rendering utilities the
+// rest of the system needs.
+package aimage
+
+import (
+	"fmt"
+	"math"
+)
+
+// Image is a dense row-major acoustic image: Pix[r*Cols+c] is the pixel at
+// row r (z axis, top row = highest z) and column c (x axis).
+type Image struct {
+	Rows, Cols int
+	Pix        []float64
+}
+
+// New returns a zeroed rows×cols image.
+func New(rows, cols int) *Image {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("aimage: invalid size %dx%d", rows, cols))
+	}
+	return &Image{Rows: rows, Cols: cols, Pix: make([]float64, rows*cols)}
+}
+
+// At returns the pixel at (r, c).
+func (im *Image) At(r, c int) float64 { return im.Pix[r*im.Cols+c] }
+
+// Set assigns the pixel at (r, c).
+func (im *Image) Set(r, c int, v float64) { im.Pix[r*im.Cols+c] = v }
+
+// Clone returns a deep copy.
+func (im *Image) Clone() *Image {
+	out := New(im.Rows, im.Cols)
+	copy(out.Pix, im.Pix)
+	return out
+}
+
+// MinMax returns the smallest and largest pixel values.
+func (im *Image) MinMax() (min, max float64) {
+	if len(im.Pix) == 0 {
+		return 0, 0
+	}
+	min, max = im.Pix[0], im.Pix[0]
+	for _, v := range im.Pix[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Normalize rescales the image in place to [0, 1]. A constant image maps to
+// all zeros. It returns the receiver.
+func (im *Image) Normalize() *Image {
+	min, max := im.MinMax()
+	span := max - min
+	if span <= 0 {
+		for i := range im.Pix {
+			im.Pix[i] = 0
+		}
+		return im
+	}
+	inv := 1 / span
+	for i, v := range im.Pix {
+		im.Pix[i] = (v - min) * inv
+	}
+	return im
+}
+
+// Mean returns the average pixel value.
+func (im *Image) Mean() float64 {
+	if len(im.Pix) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range im.Pix {
+		s += v
+	}
+	return s / float64(len(im.Pix))
+}
+
+// Resize bilinearly resamples the image to rows×cols. It is used to match
+// the feature extractor's fixed input size, like the paper's "resize the
+// image to match the input of VGGish model".
+func (im *Image) Resize(rows, cols int) *Image {
+	out := New(rows, cols)
+	if im.Rows == rows && im.Cols == cols {
+		copy(out.Pix, im.Pix)
+		return out
+	}
+	for r := 0; r < rows; r++ {
+		// Map output pixel centers onto input coordinates.
+		var srcR float64
+		if rows > 1 {
+			srcR = float64(r) * float64(im.Rows-1) / float64(rows-1)
+		}
+		r0 := int(srcR)
+		r1 := r0 + 1
+		if r1 > im.Rows-1 {
+			r1 = im.Rows - 1
+		}
+		fr := srcR - float64(r0)
+		for c := 0; c < cols; c++ {
+			var srcC float64
+			if cols > 1 {
+				srcC = float64(c) * float64(im.Cols-1) / float64(cols-1)
+			}
+			c0 := int(srcC)
+			c1 := c0 + 1
+			if c1 > im.Cols-1 {
+				c1 = im.Cols - 1
+			}
+			fc := srcC - float64(c0)
+			v := im.At(r0, c0)*(1-fr)*(1-fc) +
+				im.At(r0, c1)*(1-fr)*fc +
+				im.At(r1, c0)*fr*(1-fc) +
+				im.At(r1, c1)*fr*fc
+			out.Set(r, c, v)
+		}
+	}
+	return out
+}
+
+// Correlation returns the Pearson correlation between two images of equal
+// shape, the similarity measure used in the Figure 8 feasibility study.
+// Constant images correlate as zero.
+func Correlation(a, b *Image) (float64, error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return 0, fmt.Errorf("aimage: shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	n := float64(len(a.Pix))
+	if n == 0 {
+		return 0, fmt.Errorf("aimage: empty images")
+	}
+	ma, mb := a.Mean(), b.Mean()
+	var cov, va, vb float64
+	for i := range a.Pix {
+		da := a.Pix[i] - ma
+		db := b.Pix[i] - mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va <= 0 || vb <= 0 {
+		return 0, nil
+	}
+	return cov / math.Sqrt(va*vb), nil
+}
+
+// L2Distance returns the Euclidean distance between two images of equal
+// shape.
+func L2Distance(a, b *Image) (float64, error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return 0, fmt.Errorf("aimage: shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	var s float64
+	for i := range a.Pix {
+		d := a.Pix[i] - b.Pix[i]
+		s += d * d
+	}
+	return math.Sqrt(s), nil
+}

@@ -1,0 +1,160 @@
+package aimage
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAtSetClone(t *testing.T) {
+	im := New(3, 4)
+	im.Set(1, 2, 7)
+	if im.At(1, 2) != 7 {
+		t.Error("At/Set broken")
+	}
+	c := im.Clone()
+	c.Set(1, 2, 9)
+	if im.At(1, 2) != 7 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	im := New(2, 2)
+	copy(im.Pix, []float64{1, 3, 2, 5})
+	im.Normalize()
+	min, max := im.MinMax()
+	if min != 0 || max != 1 {
+		t.Errorf("normalized range [%g, %g]", min, max)
+	}
+	flat := New(2, 2)
+	copy(flat.Pix, []float64{4, 4, 4, 4})
+	flat.Normalize()
+	for _, v := range flat.Pix {
+		if v != 0 {
+			t.Error("constant image should normalize to zeros")
+		}
+	}
+}
+
+func TestResizeIdentityAndInterp(t *testing.T) {
+	im := New(2, 2)
+	copy(im.Pix, []float64{0, 1, 2, 3})
+	same := im.Resize(2, 2)
+	for i := range im.Pix {
+		if same.Pix[i] != im.Pix[i] {
+			t.Error("identity resize changed pixels")
+		}
+	}
+	up := im.Resize(3, 3)
+	// The center of the upsampled image is the bilinear average.
+	if got := up.At(1, 1); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("center %g, want 1.5", got)
+	}
+	// Corners are preserved.
+	if up.At(0, 0) != 0 || up.At(2, 2) != 3 {
+		t.Error("corners not preserved")
+	}
+}
+
+// TestResizeRangeProperty: bilinear output stays within input bounds.
+func TestResizeRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		im := New(2+rng.Intn(6), 2+rng.Intn(6))
+		for i := range im.Pix {
+			im.Pix[i] = rng.NormFloat64() * 5
+		}
+		min, max := im.MinMax()
+		out := im.Resize(2+rng.Intn(9), 2+rng.Intn(9))
+		oMin, oMax := out.MinMax()
+		return oMin >= min-1e-9 && oMax <= max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	a := New(2, 2)
+	copy(a.Pix, []float64{1, 2, 3, 4})
+	// Perfect correlation with itself.
+	if c, err := Correlation(a, a); err != nil || math.Abs(c-1) > 1e-12 {
+		t.Errorf("self correlation %g (%v)", c, err)
+	}
+	// Perfect anti-correlation with the negated image.
+	b := a.Clone()
+	for i := range b.Pix {
+		b.Pix[i] = -b.Pix[i]
+	}
+	if c, _ := Correlation(a, b); math.Abs(c+1) > 1e-12 {
+		t.Errorf("anti correlation %g, want -1", c)
+	}
+	// Constant image correlates as zero.
+	flat := New(2, 2)
+	if c, _ := Correlation(a, flat); c != 0 {
+		t.Errorf("flat correlation %g", c)
+	}
+	// Shape mismatch is an error.
+	if _, err := Correlation(a, New(3, 3)); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestL2Distance(t *testing.T) {
+	a := New(1, 2)
+	copy(a.Pix, []float64{0, 3})
+	b := New(1, 2)
+	copy(b.Pix, []float64{4, 3})
+	if d, err := L2Distance(a, b); err != nil || d != 4 {
+		t.Errorf("L2 = %g (%v)", d, err)
+	}
+	if _, err := L2Distance(a, New(2, 2)); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	im := New(2, 3)
+	copy(im.Pix, []float64{0, 1, 2, 3, 4, 5})
+	var buf bytes.Buffer
+	if err := im.WritePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !bytes.HasPrefix(out, []byte("P5\n3 2\n255\n")) {
+		t.Fatalf("bad PGM header: %q", out[:12])
+	}
+	pix := out[len("P5\n3 2\n255\n"):]
+	if len(pix) != 6 {
+		t.Fatalf("%d pixel bytes, want 6", len(pix))
+	}
+	if pix[0] != 0 || pix[5] != 255 {
+		t.Errorf("normalization wrong: first %d last %d", pix[0], pix[5])
+	}
+}
+
+func TestASCIIArt(t *testing.T) {
+	im := New(8, 8)
+	im.Set(4, 4, 1)
+	art := im.ASCIIArt(16)
+	if art == "" || !strings.Contains(art, "@") {
+		t.Errorf("ASCII art missing peak marker:\n%s", art)
+	}
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) == 0 || len(lines[0]) > 16 {
+		t.Errorf("ASCII art too wide: %d", len(lines[0]))
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0, 5) did not panic")
+		}
+	}()
+	New(0, 5)
+}

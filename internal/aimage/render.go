@@ -1,0 +1,65 @@
+package aimage
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePGM serializes the image as a binary 8-bit PGM (portable graymap),
+// normalizing pixel values to the 0–255 range. PGM keeps the module free of
+// image-codec dependencies while remaining viewable everywhere.
+func (im *Image) WritePGM(w io.Writer) error {
+	min, max := im.MinMax()
+	span := max - min
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", im.Cols, im.Rows); err != nil {
+		return fmt.Errorf("aimage: write PGM header: %w", err)
+	}
+	buf := make([]byte, len(im.Pix))
+	for i, v := range im.Pix {
+		if span > 0 {
+			buf[i] = byte((v - min) / span * 255)
+		}
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("aimage: write PGM pixels: %w", err)
+	}
+	return nil
+}
+
+// ASCIIArt renders the image as text using a density ramp, downsampling to
+// at most maxCols columns. Useful for terminal inspection of acoustic
+// images (Figure 8 style).
+func (im *Image) ASCIIArt(maxCols int) string {
+	if maxCols < 4 {
+		maxCols = 4
+	}
+	src := im
+	if im.Cols > maxCols {
+		rows := im.Rows * maxCols / im.Cols
+		if rows < 2 {
+			rows = 2
+		}
+		// Terminal cells are ~2x taller than wide; halve the rows.
+		src = im.Resize(rows/2+1, maxCols)
+	}
+	ramp := []byte(" .:-=+*#%@")
+	min, max := src.MinMax()
+	span := max - min
+	var sb strings.Builder
+	sb.Grow((src.Cols + 1) * src.Rows)
+	for r := 0; r < src.Rows; r++ {
+		for c := 0; c < src.Cols; c++ {
+			idx := 0
+			if span > 0 {
+				idx = int((src.At(r, c) - min) / span * float64(len(ramp)-1))
+				if idx >= len(ramp) {
+					idx = len(ramp) - 1
+				}
+			}
+			sb.WriteByte(ramp[idx])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

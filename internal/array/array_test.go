@@ -1,0 +1,202 @@
+package array
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVec3Ops(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{4, 5, 6}
+	if got := a.Add(b); got != (Vec3{5, 7, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a); got != (Vec3{3, 3, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Dot(b); got != 32 {
+		t.Errorf("Dot = %g", got)
+	}
+	if got := (Vec3{3, 4, 0}).Norm(); got != 5 {
+		t.Errorf("Norm = %g", got)
+	}
+	if got := a.Dist(a); got != 0 {
+		t.Errorf("Dist = %g", got)
+	}
+}
+
+func TestDirectionUnitVector(t *testing.T) {
+	// θ = π/2, φ = π/2: straight down the +y axis.
+	d := Direction{Azimuth: math.Pi / 2, Elevation: math.Pi / 2}
+	u := d.UnitVector()
+	if math.Abs(u.X) > 1e-12 || math.Abs(u.Y-1) > 1e-12 || math.Abs(u.Z) > 1e-12 {
+		t.Errorf("unit vector %v, want +y", u)
+	}
+	// φ = 0: straight up the +z axis.
+	d = Direction{Azimuth: 0.3, Elevation: 0}
+	u = d.UnitVector()
+	if math.Abs(u.Z-1) > 1e-12 {
+		t.Errorf("unit vector %v, want +z", u)
+	}
+	// Propagation vector is the negated unit vector (Eq. 5).
+	p := d.PropagationVector()
+	if p != u.Scale(-1) {
+		t.Errorf("propagation %v, want %v", p, u.Scale(-1))
+	}
+}
+
+// TestDirectionRoundTrip property-checks DirectionTo ∘ UnitVector = id.
+func TestDirectionRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := Direction{
+			Azimuth:   rng.Float64()*2*math.Pi - math.Pi,
+			Elevation: rng.Float64()*math.Pi*0.98 + 0.01,
+		}
+		r := 0.5 + rng.Float64()*3
+		back := DirectionTo(d.UnitVector().Scale(r))
+		dAz := math.Mod(back.Azimuth-d.Azimuth+3*math.Pi, 2*math.Pi) - math.Pi
+		return math.Abs(dAz) < 1e-9 && math.Abs(back.Elevation-d.Elevation) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectionToMatchesPaperEquations(t *testing.T) {
+	// Eq. 11–12: θ_k = arccos(x/√(x²+D²)), φ_k = arccos(z/√(x²+D²+z²)).
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		x := rng.Float64()*2 - 1
+		z := rng.Float64()*2 - 1
+		dp := 0.5 + rng.Float64()
+		got := DirectionTo(Vec3{X: x, Y: dp, Z: z})
+		wantTheta := math.Acos(x / math.Sqrt(x*x+dp*dp))
+		wantPhi := math.Acos(z / math.Sqrt(x*x+dp*dp+z*z))
+		if math.Abs(got.Azimuth-wantTheta) > 1e-9 {
+			t.Fatalf("θ = %g, want %g (x=%g z=%g)", got.Azimuth, wantTheta, x, z)
+		}
+		if math.Abs(got.Elevation-wantPhi) > 1e-9 {
+			t.Fatalf("φ = %g, want %g", got.Elevation, wantPhi)
+		}
+	}
+}
+
+func TestCircularGeometry(t *testing.T) {
+	a, err := Circular(6, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 6 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	// Hexagon: adjacent spacing equals the radius.
+	if d := a.Mic(0).Dist(a.Mic(1)); math.Abs(d-0.05) > 1e-9 {
+		t.Errorf("adjacent spacing %g, want 0.05", d)
+	}
+	if ap := a.Aperture(); math.Abs(ap-0.1) > 1e-9 {
+		t.Errorf("aperture %g, want 0.1 (diameter)", ap)
+	}
+	if ms := a.MinSpacing(); math.Abs(ms-0.05) > 1e-9 {
+		t.Errorf("min spacing %g, want 0.05", ms)
+	}
+}
+
+func TestCircularValidation(t *testing.T) {
+	if _, err := Circular(1, 0.05); err == nil {
+		t.Error("1-mic circle accepted")
+	}
+	if _, err := Circular(6, 0); err == nil {
+		t.Error("zero radius accepted")
+	}
+	if _, err := New(nil); err == nil {
+		t.Error("empty array accepted")
+	}
+}
+
+func TestReSpeakerPreset(t *testing.T) {
+	a := ReSpeaker()
+	if a.Len() != 6 {
+		t.Fatalf("ReSpeaker has %d mics", a.Len())
+	}
+	// §V-A: at 3 kHz the spacing must beat the λ/2 grating-lobe bound.
+	if !a.GratingLobeFree(3000) {
+		t.Error("ReSpeaker not grating-lobe free at 3 kHz")
+	}
+	if f := a.MaxGratingLobeFreeHz(); f < 3000 || f > 3600 {
+		t.Errorf("max grating-lobe-free frequency %g, want ≈ 3430", f)
+	}
+}
+
+func TestFarFieldDistance(t *testing.T) {
+	a := ReSpeaker()
+	// Eq. 1 with d = 0.1 m aperture, f = 3000 Hz → λ ≈ 0.114 m →
+	// L ≈ 0.175 m.
+	got := a.FarFieldDistance(3000)
+	want := 2 * 0.1 * 0.1 / (SpeedOfSound / 3000)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("far-field distance %g, want %g", got, want)
+	}
+}
+
+func TestTDOAPlaneWave(t *testing.T) {
+	a := ReSpeaker()
+	// A wave from +y hits mics with +y coordinates first: their delay is
+	// negative relative to the origin.
+	d := Direction{Azimuth: math.Pi / 2, Elevation: math.Pi / 2}
+	for m := 0; m < a.Len(); m++ {
+		tau := a.TDOA(m, d)
+		want := -a.Mic(m).Y / SpeedOfSound
+		if math.Abs(tau-want) > 1e-12 {
+			t.Errorf("mic %d: TDOA %g, want %g", m, tau, want)
+		}
+	}
+	taus := a.TDOAs(d)
+	if len(taus) != a.Len() {
+		t.Fatalf("TDOAs length %d", len(taus))
+	}
+}
+
+// TestSteeringVectorProperties property-checks unit modulus and the
+// delay-phase consistency e^{jk·p} = e^{-jω·τ}.
+func TestSteeringVectorProperties(t *testing.T) {
+	a := ReSpeaker()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := Direction{
+			Azimuth:   rng.Float64() * 2 * math.Pi,
+			Elevation: rng.Float64() * math.Pi,
+		}
+		freq := 2000 + rng.Float64()*1000
+		sv := a.SteeringVector(d, freq)
+		if len(sv) != a.Len() {
+			return false
+		}
+		omega := 2 * math.Pi * freq
+		for m, v := range sv {
+			if math.Abs(cmplx.Abs(v)-1) > 1e-12 {
+				return false
+			}
+			want := cmplx.Rect(1, -omega*a.TDOA(m, d))
+			if cmplx.Abs(v-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPositionsCopy(t *testing.T) {
+	a := ReSpeaker()
+	ps := a.Positions()
+	ps[0] = Vec3{99, 99, 99}
+	if a.Mic(0) == ps[0] {
+		t.Error("Positions returned shared storage")
+	}
+}

@@ -1,0 +1,213 @@
+// Package audio reads and writes multichannel PCM WAV files so captures
+// can be persisted and replayed — the paper's prototype likewise writes
+// "the acoustic data into a sound file stored in the laptop". Only
+// 16-bit and 32-bit integer PCM are supported, which covers commodity
+// microphone arrays.
+package audio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Clip is decoded multichannel audio: Samples[channel][frame] in [-1, 1].
+type Clip struct {
+	SampleRate int
+	Samples    [][]float64
+}
+
+// Channels returns the channel count.
+func (c *Clip) Channels() int { return len(c.Samples) }
+
+// Frames returns the per-channel sample count.
+func (c *Clip) Frames() int {
+	if len(c.Samples) == 0 {
+		return 0
+	}
+	return len(c.Samples[0])
+}
+
+// Duration returns the clip length in seconds.
+func (c *Clip) Duration() float64 {
+	if c.SampleRate <= 0 {
+		return 0
+	}
+	return float64(c.Frames()) / float64(c.SampleRate)
+}
+
+const (
+	riffMagic = "RIFF"
+	waveMagic = "WAVE"
+	fmtChunk  = "fmt "
+	dataChunk = "data"
+)
+
+// WriteWAV encodes the clip as interleaved PCM with the given bit depth
+// (16 or 32). Samples outside [-1, 1] are clipped.
+func WriteWAV(w io.Writer, clip *Clip, bits int) error {
+	if bits != 16 && bits != 32 {
+		return fmt.Errorf("audio: unsupported bit depth %d", bits)
+	}
+	channels := clip.Channels()
+	if channels == 0 {
+		return fmt.Errorf("audio: no channels")
+	}
+	frames := clip.Frames()
+	for ch, s := range clip.Samples {
+		if len(s) != frames {
+			return fmt.Errorf("audio: channel %d has %d frames, want %d", ch, len(s), frames)
+		}
+	}
+	if clip.SampleRate <= 0 {
+		return fmt.Errorf("audio: sample rate %d <= 0", clip.SampleRate)
+	}
+
+	bytesPerSample := bits / 8
+	blockAlign := channels * bytesPerSample
+	dataLen := frames * blockAlign
+
+	var header [44]byte
+	copy(header[0:], riffMagic)
+	binary.LittleEndian.PutUint32(header[4:], uint32(36+dataLen))
+	copy(header[8:], waveMagic)
+	copy(header[12:], fmtChunk)
+	binary.LittleEndian.PutUint32(header[16:], 16)
+	binary.LittleEndian.PutUint16(header[20:], 1) // PCM
+	binary.LittleEndian.PutUint16(header[22:], uint16(channels))
+	binary.LittleEndian.PutUint32(header[24:], uint32(clip.SampleRate))
+	binary.LittleEndian.PutUint32(header[28:], uint32(clip.SampleRate*blockAlign))
+	binary.LittleEndian.PutUint16(header[32:], uint16(blockAlign))
+	binary.LittleEndian.PutUint16(header[34:], uint16(bits))
+	copy(header[36:], dataChunk)
+	binary.LittleEndian.PutUint32(header[40:], uint32(dataLen))
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("audio: write header: %w", err)
+	}
+
+	buf := make([]byte, dataLen)
+	off := 0
+	for f := 0; f < frames; f++ {
+		for ch := 0; ch < channels; ch++ {
+			v := clip.Samples[ch][f]
+			if v > 1 {
+				v = 1
+			} else if v < -1 {
+				v = -1
+			}
+			switch bits {
+			case 16:
+				binary.LittleEndian.PutUint16(buf[off:], uint16(int16(math.Round(v*32767))))
+				off += 2
+			case 32:
+				binary.LittleEndian.PutUint32(buf[off:], uint32(int32(math.Round(v*2147483647))))
+				off += 4
+			}
+		}
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("audio: write samples: %w", err)
+	}
+	return nil
+}
+
+// ReadWAV decodes an integer PCM WAV file into de-interleaved channels.
+func ReadWAV(r io.Reader) (*Clip, error) {
+	var header [12]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, fmt.Errorf("audio: read RIFF header: %w", err)
+	}
+	if string(header[0:4]) != riffMagic || string(header[8:12]) != waveMagic {
+		return nil, fmt.Errorf("audio: not a RIFF/WAVE stream")
+	}
+
+	var (
+		sampleRate int
+		channels   int
+		bits       int
+		haveFmt    bool
+	)
+	for {
+		var chunk [8]byte
+		if _, err := io.ReadFull(r, chunk[:]); err != nil {
+			if err == io.EOF {
+				return nil, fmt.Errorf("audio: no data chunk")
+			}
+			return nil, fmt.Errorf("audio: read chunk header: %w", err)
+		}
+		id := string(chunk[0:4])
+		size := binary.LittleEndian.Uint32(chunk[4:])
+		switch id {
+		case fmtChunk:
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return nil, fmt.Errorf("audio: read fmt chunk: %w", err)
+			}
+			if len(body) < 16 {
+				return nil, fmt.Errorf("audio: fmt chunk too short (%d bytes)", len(body))
+			}
+			format := binary.LittleEndian.Uint16(body[0:])
+			if format != 1 {
+				return nil, fmt.Errorf("audio: unsupported WAV format %d (only PCM)", format)
+			}
+			channels = int(binary.LittleEndian.Uint16(body[2:]))
+			sampleRate = int(binary.LittleEndian.Uint32(body[4:]))
+			bits = int(binary.LittleEndian.Uint16(body[14:]))
+			if bits != 16 && bits != 32 {
+				return nil, fmt.Errorf("audio: unsupported bit depth %d", bits)
+			}
+			if channels < 1 {
+				return nil, fmt.Errorf("audio: %d channels", channels)
+			}
+			haveFmt = true
+		case dataChunk:
+			if !haveFmt {
+				return nil, fmt.Errorf("audio: data chunk before fmt chunk")
+			}
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return nil, fmt.Errorf("audio: read data chunk: %w", err)
+			}
+			return decodePCM(body, sampleRate, channels, bits)
+		default:
+			// Skip unknown chunks (word-aligned).
+			skip := int64(size)
+			if skip%2 == 1 {
+				skip++
+			}
+			if _, err := io.CopyN(io.Discard, r, skip); err != nil {
+				return nil, fmt.Errorf("audio: skip %q chunk: %w", id, err)
+			}
+		}
+	}
+}
+
+func decodePCM(body []byte, sampleRate, channels, bits int) (*Clip, error) {
+	bytesPerSample := bits / 8
+	blockAlign := channels * bytesPerSample
+	if len(body)%blockAlign != 0 {
+		return nil, fmt.Errorf("audio: data size %d not a multiple of frame size %d", len(body), blockAlign)
+	}
+	frames := len(body) / blockAlign
+	clip := &Clip{SampleRate: sampleRate, Samples: make([][]float64, channels)}
+	for ch := range clip.Samples {
+		clip.Samples[ch] = make([]float64, frames)
+	}
+	off := 0
+	for f := 0; f < frames; f++ {
+		for ch := 0; ch < channels; ch++ {
+			switch bits {
+			case 16:
+				v := int16(binary.LittleEndian.Uint16(body[off:]))
+				clip.Samples[ch][f] = float64(v) / 32767
+				off += 2
+			case 32:
+				v := int32(binary.LittleEndian.Uint32(body[off:]))
+				clip.Samples[ch][f] = float64(v) / 2147483647
+				off += 4
+			}
+		}
+	}
+	return clip, nil
+}

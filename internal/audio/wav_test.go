@@ -1,0 +1,152 @@
+package audio
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWAVRoundTrip16(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	clip := &Clip{SampleRate: 48000, Samples: make([][]float64, 6)}
+	for ch := range clip.Samples {
+		clip.Samples[ch] = make([]float64, 480)
+		for i := range clip.Samples[ch] {
+			clip.Samples[ch][i] = rng.Float64()*1.8 - 0.9
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, clip, 16); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SampleRate != 48000 || back.Channels() != 6 || back.Frames() != 480 {
+		t.Fatalf("shape %d Hz %d ch %d frames", back.SampleRate, back.Channels(), back.Frames())
+	}
+	for ch := range clip.Samples {
+		for i := range clip.Samples[ch] {
+			if d := math.Abs(back.Samples[ch][i] - clip.Samples[ch][i]); d > 1.0/32000 {
+				t.Fatalf("ch %d sample %d: error %g beyond 16-bit quantization", ch, i, d)
+			}
+		}
+	}
+}
+
+// TestWAVRoundTrip32Property: 32-bit round trips are near-lossless for any
+// bounded signal.
+func TestWAVRoundTrip32Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		frames := 1 + rng.Intn(200)
+		channels := 1 + rng.Intn(4)
+		clip := &Clip{SampleRate: 8000 + rng.Intn(40000), Samples: make([][]float64, channels)}
+		for ch := range clip.Samples {
+			clip.Samples[ch] = make([]float64, frames)
+			for i := range clip.Samples[ch] {
+				clip.Samples[ch][i] = rng.Float64()*2 - 1
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteWAV(&buf, clip, 32); err != nil {
+			return false
+		}
+		back, err := ReadWAV(&buf)
+		if err != nil {
+			return false
+		}
+		for ch := range clip.Samples {
+			for i := range clip.Samples[ch] {
+				if math.Abs(back.Samples[ch][i]-clip.Samples[ch][i]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteWAVClips(t *testing.T) {
+	clip := &Clip{SampleRate: 48000, Samples: [][]float64{{2.5, -3.0}}}
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, clip, 16); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Samples[0][0] < 0.99 || back.Samples[0][1] > -0.99 {
+		t.Errorf("out-of-range samples not clipped: %v", back.Samples[0])
+	}
+}
+
+func TestWriteWAVValidation(t *testing.T) {
+	var buf bytes.Buffer
+	good := &Clip{SampleRate: 48000, Samples: [][]float64{{0}}}
+	if err := WriteWAV(&buf, good, 24); err == nil {
+		t.Error("24-bit accepted")
+	}
+	if err := WriteWAV(&buf, &Clip{SampleRate: 48000}, 16); err == nil {
+		t.Error("empty clip accepted")
+	}
+	ragged := &Clip{SampleRate: 48000, Samples: [][]float64{{0, 1}, {0}}}
+	if err := WriteWAV(&buf, ragged, 16); err == nil {
+		t.Error("ragged channels accepted")
+	}
+	noRate := &Clip{Samples: [][]float64{{0}}}
+	if err := WriteWAV(&buf, noRate, 16); err == nil {
+		t.Error("zero sample rate accepted")
+	}
+}
+
+func TestReadWAVRejectsGarbage(t *testing.T) {
+	if _, err := ReadWAV(bytes.NewReader([]byte("not a wav file at all"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadWAV(bytes.NewReader([]byte("RIFF\x00\x00\x00\x00WAVE"))); err == nil {
+		t.Error("header-only stream accepted")
+	}
+}
+
+func TestReadWAVSkipsUnknownChunks(t *testing.T) {
+	clip := &Clip{SampleRate: 16000, Samples: [][]float64{{0.25, -0.25}}}
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, clip, 16); err != nil {
+		t.Fatal(err)
+	}
+	// Splice a LIST chunk between fmt and data.
+	raw := buf.Bytes()
+	fmtEnd := 12 + 8 + 16
+	var spliced bytes.Buffer
+	spliced.Write(raw[:fmtEnd])
+	spliced.WriteString("LIST")
+	spliced.Write([]byte{4, 0, 0, 0})
+	spliced.WriteString("INFO")
+	spliced.Write(raw[fmtEnd:])
+	back, err := ReadWAV(&spliced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Frames() != 2 {
+		t.Errorf("frames %d, want 2", back.Frames())
+	}
+}
+
+func TestClipHelpers(t *testing.T) {
+	clip := &Clip{SampleRate: 1000, Samples: [][]float64{make([]float64, 500)}}
+	if clip.Duration() != 0.5 {
+		t.Errorf("Duration = %g", clip.Duration())
+	}
+	var empty Clip
+	if empty.Frames() != 0 || empty.Duration() != 0 {
+		t.Error("empty clip helpers wrong")
+	}
+}

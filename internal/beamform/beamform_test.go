@@ -1,0 +1,305 @@
+package beamform
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"echoimage/internal/array"
+	"echoimage/internal/cmat"
+)
+
+// synthPlaneWave builds M-channel analytic snapshots of a narrowband plane
+// wave from direction d plus white noise.
+func synthPlaneWave(arr *array.Array, d array.Direction, freqHz, fs float64, n int, noise float64, rng *rand.Rand) [][]complex128 {
+	sv := arr.SteeringVector(d, freqHz)
+	out := make([][]complex128, arr.Len())
+	for m := range out {
+		out[m] = make([]complex128, n)
+	}
+	for t := 0; t < n; t++ {
+		carrier := cmplx.Rect(1, 2*math.Pi*freqHz*float64(t)/fs)
+		for m := range out {
+			v := carrier * sv[m]
+			v += complex(rng.NormFloat64()*noise, rng.NormFloat64()*noise)
+			out[m][t] = v
+		}
+	}
+	return out
+}
+
+func TestMVDRDistortionless(t *testing.T) {
+	arr := array.ReSpeaker()
+	cov := cmat.Identity(arr.Len())
+	d := array.Direction{Azimuth: math.Pi / 2, Elevation: math.Pi / 3}
+	sv := arr.SteeringVector(d, 2500)
+	w, err := MVDRWeights(cov, sv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// wᴴ·p_s = 1 (the defining constraint).
+	if g := cmat.Dot(w, sv); cmplx.Abs(g-1) > 1e-9 {
+		t.Errorf("distortionless response %v, want 1", g)
+	}
+}
+
+func TestMVDRRecoversLookDirectionSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	arr := array.ReSpeaker()
+	d := array.Direction{Azimuth: math.Pi / 2, Elevation: math.Pi / 2}
+	const freq, fs = 2500.0, 48000.0
+	x := synthPlaneWave(arr, d, freq, fs, 512, 0.05, rng)
+
+	bf, err := New(arr, nil, freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := bf.Steer(x, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The beamformed output magnitude should be ≈ the unit carrier.
+	var mean float64
+	for _, v := range y {
+		mean += cmplx.Abs(v)
+	}
+	mean /= float64(len(y))
+	if math.Abs(mean-1) > 0.1 {
+		t.Errorf("beamformed magnitude %g, want ≈ 1", mean)
+	}
+}
+
+func TestMVDRNullsInterferer(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	arr := array.ReSpeaker()
+	look := array.Direction{Azimuth: math.Pi / 2, Elevation: math.Pi / 2}
+	jam := array.Direction{Azimuth: -math.Pi / 3, Elevation: math.Pi / 2}
+	const freq, fs = 2500.0, 48000.0
+
+	// Noise covariance from interferer-only snapshots.
+	noiseChans := synthPlaneWave(arr, jam, freq, fs, 2048, 0.02, rng)
+	cov, err := EstimateCovariance(noiseChans, 0, 2048, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := New(arr, cov, freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := bf.WeightsFor(look)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := bf.Beampattern(w, []array.Direction{look, jam})
+	if math.Abs(pattern[0]-1) > 1e-6 {
+		t.Errorf("look-direction gain %g, want 1", pattern[0])
+	}
+	if pattern[1] > 0.3*pattern[0] {
+		t.Errorf("interferer gain %g not suppressed vs look %g", pattern[1], pattern[0])
+	}
+}
+
+func TestEstimateCovarianceProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	arr := array.ReSpeaker()
+	x := synthPlaneWave(arr, array.Direction{Azimuth: 1, Elevation: 1}, 2500, 48000, 256, 0.5, rng)
+	cov, err := EstimateCovariance(x, 0, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cov.Hermitian(1e-9) {
+		t.Error("covariance not Hermitian")
+	}
+	// Normalized: trace == M.
+	if tr := real(cov.Trace()); math.Abs(tr-float64(arr.Len())) > 1e-9 {
+		t.Errorf("trace %g, want %d", tr, arr.Len())
+	}
+}
+
+func TestEstimateCovarianceDegenerate(t *testing.T) {
+	m := 4
+	silent := make([][]complex128, m)
+	for i := range silent {
+		silent[i] = make([]complex128, 64)
+	}
+	cov, err := EstimateCovariance(silent, 0, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := cmat.MaxAbsDiff(cov, cmat.Identity(m)); d > 1e-12 {
+		t.Errorf("silent covariance differs from identity by %g", d)
+	}
+	if _, err := EstimateCovariance(silent, 10, 10, 0); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := EstimateCovariance(nil, 0, 1, 0); err == nil {
+		t.Error("no channels accepted")
+	}
+}
+
+func TestDelayAndSumWeights(t *testing.T) {
+	arr := array.ReSpeaker()
+	d := array.Direction{Azimuth: 0.5, Elevation: 1.0}
+	sv := arr.SteeringVector(d, 2500)
+	w := DelayAndSumWeights(sv)
+	// Unit gain toward the look direction.
+	if g := cmat.Dot(w, sv); cmplx.Abs(g-1) > 1e-12 {
+		t.Errorf("DAS look gain %v, want 1", g)
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	x := [][]complex128{{1, 2}, {3, 4}}
+	if _, err := Apply(x, []complex128{1}); err == nil {
+		t.Error("weight/channel mismatch accepted")
+	}
+	ragged := [][]complex128{{1, 2}, {3}}
+	if _, err := Apply(ragged, []complex128{1, 1}); err == nil {
+		t.Error("ragged channels accepted")
+	}
+}
+
+func TestRealPartMagnitude(t *testing.T) {
+	x := []complex128{3 + 4i, -1}
+	if r := RealPart(x); r[0] != 3 || r[1] != -1 {
+		t.Errorf("RealPart = %v", r)
+	}
+	if m := Magnitude(x); math.Abs(m[0]-5) > 1e-12 || m[1] != 1 {
+		t.Errorf("Magnitude = %v", m)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	arr := array.ReSpeaker()
+	if _, err := New(nil, nil, 2500); err == nil {
+		t.Error("nil array accepted")
+	}
+	if _, err := New(arr, nil, 0); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	if _, err := New(arr, cmat.Identity(3), 2500); err == nil {
+		t.Error("wrong covariance size accepted")
+	}
+}
+
+func TestSubbandSteerRecoversTone(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	arr := array.ReSpeaker()
+	d := array.Direction{Azimuth: math.Pi / 2, Elevation: math.Pi / 2}
+	const fs = 48000.0
+	cfg := SubbandConfig{SampleRate: fs, LowHz: 2000, HighHz: 3000}
+	sb, err := NewSubband(arr, cfg, 1024, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Real in-band plane wave frame.
+	frame := make([][]float64, arr.Len())
+	sv := arr.SteeringVector(d, 2500)
+	for m := range frame {
+		frame[m] = make([]float64, sb.FrameSize())
+		phase := cmplx.Phase(sv[m])
+		for t := 0; t < sb.FrameSize(); t++ {
+			frame[m][t] = math.Cos(2*math.Pi*2500*float64(t)/fs+phase) + rng.NormFloat64()*0.01
+		}
+	}
+	y, err := sb.Steer(frame, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Output power should approximate the aligned tone's power (~0.5).
+	var p float64
+	for _, v := range y {
+		p += v * v
+	}
+	p /= float64(len(y))
+	if p < 0.3 {
+		t.Errorf("subband output power %g, want ≈ 0.5", p)
+	}
+}
+
+func TestSubbandValidation(t *testing.T) {
+	arr := array.ReSpeaker()
+	bad := SubbandConfig{SampleRate: 48000, LowHz: 3000, HighHz: 2000}
+	if _, err := NewSubband(arr, bad, 512, nil); err == nil {
+		t.Error("inverted band accepted")
+	}
+	good := SubbandConfig{SampleRate: 48000, LowHz: 2000, HighHz: 3000}
+	if _, err := NewSubband(nil, good, 512, nil); err == nil {
+		t.Error("nil array accepted")
+	}
+	if _, err := NewSubband(arr, good, 1, nil); err == nil {
+		t.Error("tiny frame accepted")
+	}
+}
+
+func TestSubbandWithNoiseFramesSuppresssInterferer(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	arr := array.ReSpeaker()
+	look := array.Direction{Azimuth: math.Pi / 2, Elevation: math.Pi / 2}
+	jam := array.Direction{Azimuth: -math.Pi / 2, Elevation: math.Pi / 2}
+	const fs = 48000.0
+	frameLen := 1024
+
+	// Noise-only frames: interferer tone at 2.4 kHz from the jam
+	// direction.
+	mkFrame := func(dir array.Direction, freq, amp float64) [][]float64 {
+		sv := arr.SteeringVector(dir, freq)
+		frame := make([][]float64, arr.Len())
+		for m := range frame {
+			frame[m] = make([]float64, frameLen)
+			phase := cmplx.Phase(sv[m])
+			for ti := 0; ti < frameLen; ti++ {
+				frame[m][ti] = amp * math.Cos(2*math.Pi*freq*float64(ti)/fs+phase)
+			}
+		}
+		return frame
+	}
+	var noiseFrames [][][]float64
+	for i := 0; i < 8; i++ {
+		f := mkFrame(jam, 2400, 1)
+		for m := range f {
+			for ti := range f[m] {
+				f[m][ti] += rng.NormFloat64() * 0.05
+			}
+		}
+		noiseFrames = append(noiseFrames, f)
+	}
+	cfg := SubbandConfig{SampleRate: fs, LowHz: 2000, HighHz: 3000, Loading: 1e-2}
+	sb, err := NewSubband(arr, cfg, frameLen, noiseFrames)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Live frame: desired tone from the look direction plus the jammer.
+	frame := mkFrame(look, 2400, 1)
+	jamFrame := mkFrame(jam, 2400, 1)
+	for m := range frame {
+		for ti := range frame[m] {
+			frame[m][ti] += jamFrame[m][ti]
+		}
+	}
+	y, err := sb.Steer(frame, look)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare with pure-jammer output: the jammer must be attenuated
+	// relative to the look-direction tone.
+	yJam, err := sb.Steer(jamFrame, look)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pMix, pJam float64
+	for i := range y {
+		pMix += y[i] * y[i]
+		pJam += yJam[i] * yJam[i]
+	}
+	if pJam > 0.5*pMix {
+		t.Errorf("jammer power %g not suppressed relative to mix %g", pJam, pMix)
+	}
+
+	// Channel-count validation.
+	if _, err := sb.Steer(frame[:2], look); err == nil {
+		t.Error("channel mismatch accepted")
+	}
+}

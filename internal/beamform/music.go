@@ -1,0 +1,72 @@
+package beamform
+
+import (
+	"fmt"
+	"math"
+
+	"echoimage/internal/array"
+	"echoimage/internal/cmat"
+)
+
+// MUSICResult is a direction-of-arrival pseudo-spectrum over candidate
+// azimuths, the classic subspace method smart speakers use to localize a
+// talker (the 2MA system the paper's related work discusses builds on DoA).
+type MUSICResult struct {
+	// AzimuthsRad are the scanned candidate azimuths.
+	AzimuthsRad []float64
+	// Spectrum is the MUSIC pseudo-spectrum, one value per azimuth.
+	Spectrum []float64
+	// PeakAzimuthRad is the azimuth of the spectrum maximum.
+	PeakAzimuthRad float64
+}
+
+// MUSICAzimuth estimates source azimuths from M-channel analytic snapshots
+// at the given narrowband frequency. numSources is the assumed source
+// count (signal-subspace dimension); elevation fixes the scan cone (use
+// π/2 for sources in the array plane). resolution is the azimuth step.
+func MUSICAzimuth(arr *array.Array, x [][]complex128, freqHz float64, numSources int, elevation, resolution float64) (*MUSICResult, error) {
+	m := arr.Len()
+	switch {
+	case len(x) != m:
+		return nil, fmt.Errorf("beamform: %d channels for %d mics", len(x), m)
+	case numSources < 1 || numSources >= m:
+		return nil, fmt.Errorf("beamform: numSources %d outside [1, %d)", numSources, m-1)
+	case resolution <= 0:
+		return nil, fmt.Errorf("beamform: resolution %g <= 0", resolution)
+	}
+	cov, err := EstimateCovariance(x, 0, len(x[0]), 0)
+	if err != nil {
+		return nil, err
+	}
+	// Full eigendecomposition; the trailing M−numSources eigenvectors span
+	// the noise subspace.
+	_, vectors, err := cmat.EigenHermitian(cov, m)
+	if err != nil {
+		return nil, fmt.Errorf("beamform: eigendecomposition: %w", err)
+	}
+	noise := vectors[numSources:]
+
+	res := &MUSICResult{}
+	best := math.Inf(-1)
+	for az := -math.Pi; az < math.Pi; az += resolution {
+		d := array.Direction{Azimuth: az, Elevation: elevation}
+		ps := arr.SteeringVector(d, freqHz)
+		// P(θ) = 1 / Σ_k |e_kᴴ·p_s|².
+		var denom float64
+		for _, e := range noise {
+			pr := cmat.Dot(e, ps)
+			denom += real(pr)*real(pr) + imag(pr)*imag(pr)
+		}
+		if denom < 1e-12 {
+			denom = 1e-12
+		}
+		p := 1 / denom
+		res.AzimuthsRad = append(res.AzimuthsRad, az)
+		res.Spectrum = append(res.Spectrum, p)
+		if p > best {
+			best = p
+			res.PeakAzimuthRad = az
+		}
+	}
+	return res, nil
+}

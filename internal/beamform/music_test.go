@@ -1,0 +1,51 @@
+package beamform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"echoimage/internal/array"
+)
+
+func TestMUSICFindsSourceAzimuth(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	arr := array.ReSpeaker()
+	const freq, fs = 2500.0, 48000.0
+	for _, wantAz := range []float64{0, math.Pi / 3, -2.0} {
+		src := array.Direction{Azimuth: wantAz, Elevation: math.Pi / 2}
+		x := synthPlaneWave(arr, src, freq, fs, 1024, 0.05, rng)
+		res, err := MUSICAzimuth(arr, x, freq, 1, math.Pi/2, math.Pi/360)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := math.Abs(res.PeakAzimuthRad - wantAz)
+		if diff > math.Pi {
+			diff = 2*math.Pi - diff
+		}
+		if diff > 0.1 {
+			t.Errorf("azimuth %.3f estimated as %.3f (err %.3f rad)", wantAz, res.PeakAzimuthRad, diff)
+		}
+	}
+}
+
+func TestMUSICValidation(t *testing.T) {
+	arr := array.ReSpeaker()
+	x := make([][]complex128, arr.Len())
+	for i := range x {
+		x[i] = make([]complex128, 64)
+		x[i][0] = 1
+	}
+	if _, err := MUSICAzimuth(arr, x[:2], 2500, 1, math.Pi/2, 0.01); err == nil {
+		t.Error("channel mismatch accepted")
+	}
+	if _, err := MUSICAzimuth(arr, x, 2500, 0, math.Pi/2, 0.01); err == nil {
+		t.Error("zero sources accepted")
+	}
+	if _, err := MUSICAzimuth(arr, x, 2500, arr.Len(), math.Pi/2, 0.01); err == nil {
+		t.Error("full-rank source count accepted")
+	}
+	if _, err := MUSICAzimuth(arr, x, 2500, 1, math.Pi/2, 0); err == nil {
+		t.Error("zero resolution accepted")
+	}
+}

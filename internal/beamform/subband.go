@@ -1,0 +1,196 @@
+package beamform
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"echoimage/internal/array"
+	"echoimage/internal/cmat"
+	"echoimage/internal/dsp"
+)
+
+// SubbandConfig parameterizes the wideband (per-FFT-bin) beamformer. The
+// paper's chirp spans 2–3 kHz — a 40% fractional bandwidth — which stretches
+// the narrowband approximation; the subband processor steers every bin in
+// the chirp band at its own frequency instead of using a single center
+// frequency.
+type SubbandConfig struct {
+	SampleRate float64
+	// LowHz and HighHz bound the processed band; bins outside pass through
+	// zeroed.
+	LowHz, HighHz float64
+	// Loading is the diagonal loading added to per-bin noise covariance
+	// estimates.
+	Loading float64
+}
+
+// Validate checks the configuration.
+func (c SubbandConfig) Validate() error {
+	switch {
+	case c.SampleRate <= 0:
+		return fmt.Errorf("beamform: subband sample rate %g <= 0", c.SampleRate)
+	case !(0 < c.LowHz && c.LowHz < c.HighHz):
+		return fmt.Errorf("beamform: subband edges (%g, %g) invalid", c.LowHz, c.HighHz)
+	case c.HighHz >= c.SampleRate/2:
+		return fmt.Errorf("beamform: subband upper edge %g >= Nyquist", c.HighHz)
+	}
+	return nil
+}
+
+// Subband is a wideband frequency-domain beamformer with per-bin MVDR
+// weights derived from noise-only frames.
+type Subband struct {
+	cfg SubbandConfig
+	arr *array.Array
+	// invCov[k] is the inverse noise covariance for processed bin k
+	// (offset by binLo); nil entries mean identity.
+	invCov []*cmat.Matrix
+	size   int
+	binLo  int
+	binHi  int
+}
+
+// NewSubband builds a subband beamformer for FFT frames of length size
+// (rounded up to a power of two). noiseFrames, when non-empty, provides
+// M-channel noise-only real frames used to estimate per-bin noise
+// covariance (averaged across frames, Bartlett style); otherwise spatially
+// white noise is assumed.
+func NewSubband(arr *array.Array, cfg SubbandConfig, size int, noiseFrames [][][]float64) (*Subband, error) {
+	if arr == nil {
+		return nil, fmt.Errorf("beamform: nil array")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if size < 2 {
+		return nil, fmt.Errorf("beamform: subband frame size %d < 2", size)
+	}
+	size = dsp.NextPow2(size)
+	binHz := cfg.SampleRate / float64(size)
+	binLo := int(cfg.LowHz / binHz)
+	binHi := int(cfg.HighHz/binHz) + 1
+	if binHi > size/2 {
+		binHi = size / 2
+	}
+	if binLo >= binHi {
+		return nil, fmt.Errorf("beamform: empty subband bin range [%d, %d)", binLo, binHi)
+	}
+	sb := &Subband{cfg: cfg, arr: arr, size: size, binLo: binLo, binHi: binHi}
+
+	if len(noiseFrames) > 0 {
+		m := arr.Len()
+		cov := make([]*cmat.Matrix, binHi-binLo)
+		for k := range cov {
+			cov[k] = cmat.New(m, m)
+		}
+		frames := 0
+		for _, frame := range noiseFrames {
+			if len(frame) != m {
+				return nil, fmt.Errorf("beamform: noise frame has %d channels, want %d", len(frame), m)
+			}
+			specs := make([][]complex128, m)
+			for c := 0; c < m; c++ {
+				padded := make([]complex128, size)
+				for i, v := range frame[c] {
+					if i >= size {
+						break
+					}
+					padded[i] = complex(v, 0)
+				}
+				specs[c] = dsp.FFT(padded)
+			}
+			snap := make([]complex128, m)
+			for k := binLo; k < binHi; k++ {
+				for c := 0; c < m; c++ {
+					snap[c] = specs[c][k]
+				}
+				if err := cmat.OuterAccumulate(cov[k-binLo], snap); err != nil {
+					return nil, err
+				}
+			}
+			frames++
+		}
+		sb.invCov = make([]*cmat.Matrix, binHi-binLo)
+		for k := range cov {
+			cov[k].Scale(complex(1/float64(frames), 0))
+			tr := real(cov[k].Trace())
+			if tr <= 1e-30 {
+				continue // leave nil → identity
+			}
+			cov[k].Scale(complex(float64(m)/tr, 0))
+			loading := cfg.Loading
+			if loading <= 0 {
+				loading = 1e-3
+			}
+			cov[k].AddScaledIdentity(complex(loading, 0))
+			inv, err := cov[k].Inverse()
+			if err != nil {
+				return nil, fmt.Errorf("beamform: invert bin %d covariance: %w", k+binLo, err)
+			}
+			sb.invCov[k] = inv
+		}
+	}
+	return sb, nil
+}
+
+// FrameSize returns the FFT frame length in samples.
+func (s *Subband) FrameSize() int { return s.size }
+
+// Steer beamforms one M-channel real frame toward direction d and returns
+// the real time-domain output of length FrameSize. Input frames shorter
+// than FrameSize are zero-padded; longer frames are truncated.
+func (s *Subband) Steer(frame [][]float64, d array.Direction) ([]float64, error) {
+	m := s.arr.Len()
+	if len(frame) != m {
+		return nil, fmt.Errorf("beamform: frame has %d channels, want %d", len(frame), m)
+	}
+	specs := make([][]complex128, m)
+	for c := 0; c < m; c++ {
+		padded := make([]complex128, s.size)
+		for i, v := range frame[c] {
+			if i >= s.size {
+				break
+			}
+			padded[i] = complex(v, 0)
+		}
+		specs[c] = dsp.FFT(padded)
+	}
+	out := make([]complex128, s.size)
+	binHz := s.cfg.SampleRate / float64(s.size)
+	snap := make([]complex128, m)
+	for k := s.binLo; k < s.binHi; k++ {
+		freq := float64(k) * binHz
+		ps := s.arr.SteeringVector(d, freq)
+		var w []complex128
+		if s.invCov != nil && s.invCov[k-s.binLo] != nil {
+			num, err := s.invCov[k-s.binLo].MulVec(ps)
+			if err != nil {
+				return nil, err
+			}
+			den := cmat.Dot(ps, num)
+			if cmplx.Abs(den) < 1e-30 {
+				w = DelayAndSumWeights(ps)
+			} else {
+				w = make([]complex128, m)
+				for i, v := range num {
+					w[i] = v / den
+				}
+			}
+		} else {
+			w = DelayAndSumWeights(ps)
+		}
+		for c := 0; c < m; c++ {
+			snap[c] = specs[c][k]
+		}
+		y := cmat.Dot(w, snap)
+		out[k] = y
+		// Maintain Hermitian symmetry so the inverse transform is real.
+		out[s.size-k] = cmplx.Conj(y)
+	}
+	td := dsp.IFFT(out)
+	res := make([]float64, s.size)
+	for i, v := range td {
+		res[i] = real(v)
+	}
+	return res, nil
+}

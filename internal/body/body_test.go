@@ -1,0 +1,226 @@
+package body
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRosterMatchesTableI(t *testing.T) {
+	roster := Roster()
+	if len(roster) != 20 {
+		t.Fatalf("roster size %d, want 20", len(roster))
+	}
+	for i, p := range roster {
+		if p.ID != i+1 {
+			t.Errorf("roster[%d].ID = %d", i, p.ID)
+		}
+	}
+	// Strata from Table I.
+	for _, p := range roster[:5] {
+		if p.Gender != Male || p.Occupation != "Undergraduate Student" {
+			t.Errorf("user %d: %v %q", p.ID, p.Gender, p.Occupation)
+		}
+	}
+	if roster[5].Gender != Female {
+		t.Error("user 6 should be female")
+	}
+	for _, p := range roster[6:15] {
+		if p.Gender != Male || p.Occupation != "Graduate Student" {
+			t.Errorf("user %d: %v %q", p.ID, p.Gender, p.Occupation)
+		}
+	}
+	for _, p := range roster[15:19] {
+		if p.Gender != Female {
+			t.Errorf("user %d should be female", p.ID)
+		}
+	}
+	if roster[19].AgeBand != "30-40" {
+		t.Errorf("user 20 age band %q", roster[19].AgeBand)
+	}
+}
+
+func TestRosterDeterministic(t *testing.T) {
+	a, b := Roster(), Roster()
+	for i := range a {
+		if a[i].HeightM != b[i].HeightM || a[i].ShoulderHalfM != b[i].ShoulderHalfM {
+			t.Fatalf("roster not deterministic at user %d", i+1)
+		}
+	}
+}
+
+func TestSplitRoster(t *testing.T) {
+	reg, spoof := SplitRoster()
+	if len(reg) != 12 || len(spoof) != 8 {
+		t.Fatalf("split %d/%d, want 12/8", len(reg), len(spoof))
+	}
+}
+
+func TestProfilesAnatomicallyPlausible(t *testing.T) {
+	for _, p := range Roster() {
+		if p.HeightM < 1.4 || p.HeightM > 2.0 {
+			t.Errorf("user %d height %g", p.ID, p.HeightM)
+		}
+		if p.ShoulderHalfM < 0.12 || p.ShoulderHalfM > 0.30 {
+			t.Errorf("user %d shoulder half %g", p.ID, p.ShoulderHalfM)
+		}
+		if p.HeadRadiusM < 0.07 || p.HeadRadiusM > 0.13 {
+			t.Errorf("user %d head radius %g", p.ID, p.HeadRadiusM)
+		}
+	}
+}
+
+func TestReflectorsDeterministicPerUser(t *testing.T) {
+	p := NewProfile(3, Male, "20-30", "Graduate Student")
+	st := DefaultStance(0.7)
+	st.JitterM = 0 // isolate the deterministic point process
+	a := p.Reflectors(DefaultReflectorConfig(), st, nil)
+	b := p.Reflectors(DefaultReflectorConfig(), st, nil)
+	if len(a) != len(b) {
+		t.Fatalf("reflector counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reflector %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReflectorsDifferAcrossUsers(t *testing.T) {
+	st := DefaultStance(0.7)
+	st.JitterM = 0
+	a := NewProfile(1, Male, "10-20", "Undergraduate Student").Reflectors(DefaultReflectorConfig(), st, nil)
+	b := NewProfile(2, Male, "10-20", "Undergraduate Student").Reflectors(DefaultReflectorConfig(), st, nil)
+	same := 0
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i].Pos == b[i].Pos {
+			same++
+		}
+	}
+	if same > n/10 {
+		t.Errorf("%d/%d reflector positions identical across users", same, n)
+	}
+}
+
+func TestReflectorsWithinBodyEnvelope(t *testing.T) {
+	p := NewProfile(7, Male, "20-30", "Graduate Student")
+	st := DefaultStance(0.7)
+	rng := rand.New(rand.NewSource(1))
+	refl := p.Reflectors(DefaultReflectorConfig(), st, rng)
+	if len(refl) < 100 {
+		t.Fatalf("only %d reflectors", len(refl))
+	}
+	for _, r := range refl {
+		if r.Strength <= 0 {
+			t.Errorf("non-positive strength %g", r.Strength)
+		}
+		// Within a generous bounding box around the stance.
+		if math.Abs(r.Pos.X) > 0.6 {
+			t.Errorf("reflector x = %g outside body envelope", r.Pos.X)
+		}
+		if r.Pos.Y < st.DistanceM-0.35 || r.Pos.Y > st.DistanceM+0.35 {
+			t.Errorf("reflector y = %g outside depth envelope around %g", r.Pos.Y, st.DistanceM)
+		}
+		if r.Pos.Z < -st.ArrayHeightM-0.05 || r.Pos.Z > p.HeightM-st.ArrayHeightM+0.1 {
+			t.Errorf("reflector z = %g outside height envelope", r.Pos.Z)
+		}
+	}
+}
+
+func TestSessionStanceVariesButBounded(t *testing.T) {
+	s1 := SessionStance(0.7, 3, 1)
+	s2 := SessionStance(0.7, 3, 2)
+	if s1 == s2 {
+		t.Error("stances identical across sessions")
+	}
+	again := SessionStance(0.7, 3, 1)
+	if s1 != again {
+		t.Error("session stance not deterministic")
+	}
+	for _, s := range []Stance{s1, s2} {
+		if math.Abs(s.DistanceM-0.7) > 0.05 {
+			t.Errorf("distance offset %g too large", s.DistanceM-0.7)
+		}
+		if math.Abs(s.LateralM) > 0.05 || math.Abs(s.LeanRad) > 0.05 {
+			t.Errorf("stance jitter too large: %+v", s)
+		}
+		if s.ReflectivityScale < 0.8 || s.ReflectivityScale > 1.2 {
+			t.Errorf("reflectivity scale %g", s.ReflectivityScale)
+		}
+	}
+}
+
+func TestHalfWidthProfileShape(t *testing.T) {
+	p := NewProfile(9, Male, "20-30", "Graduate Student")
+	shoulders := p.halfWidth(0.81 * p.HeightM)
+	waist := p.halfWidth(0.52 * p.HeightM)
+	head := p.halfWidth(0.95 * p.HeightM)
+	if shoulders <= waist {
+		t.Errorf("shoulders (%g) not wider than waist (%g)", shoulders, waist)
+	}
+	if head >= shoulders {
+		t.Errorf("head (%g) wider than shoulders (%g)", head, shoulders)
+	}
+	if p.halfWidth(-0.1) != 0 || p.halfWidth(p.HeightM+0.1) != 0 {
+		t.Error("body extends beyond its height")
+	}
+}
+
+// TestHalfWidthBoundedProperty property-checks the silhouette: bounded and
+// non-negative everywhere, and continuous within each piecewise segment
+// (legs, torso, shoulder roll-off, head cap). The seams between segments —
+// hip, neck and the under-chin/crown edges of the head cap — step by
+// design (see the halfWidth comment), so continuity is only asserted away
+// from them.
+func TestHalfWidthBoundedProperty(t *testing.T) {
+	for _, p := range Roster() {
+		seams := []float64{
+			0.50 * p.HeightM, // hip
+			0.81 * p.HeightM, // shoulder
+			0.87 * p.HeightM, // neck top
+			p.HeightM,        // crown
+		}
+		nearSeam := func(h float64) bool {
+			for _, s := range seams {
+				if h > s-0.035 && h < s+0.035 {
+					return true
+				}
+			}
+			// The head cap's lower rim depends on the head radius.
+			headCenter := (0.87*p.HeightM + p.HeightM) / 2
+			rim := headCenter - p.HeadRadiusM
+			return h > rim-0.035 && h < rim+0.035
+		}
+		prev := p.halfWidth(0)
+		for h := 0.001; h <= p.HeightM; h += 0.001 {
+			w := p.halfWidth(h)
+			if w < 0 || w > 0.5 {
+				t.Fatalf("user %d: halfWidth(%.3f) = %g out of bounds", p.ID, h, w)
+			}
+			if d := w - prev; !nearSeam(h) && (d > 0.05 || d < -0.05) {
+				t.Fatalf("user %d: silhouette jumps %.3f m at h=%.3f", p.ID, d, h)
+			}
+			prev = w
+		}
+	}
+}
+
+// TestLoudspeakerProp checks the replay prop geometry.
+func TestLoudspeakerProp(t *testing.T) {
+	refl := LoudspeakerProp(0.7, 0.3)
+	if len(refl) != 63 {
+		t.Fatalf("%d prop reflectors, want 63", len(refl))
+	}
+	for _, r := range refl {
+		if r.Pos.Y != 0.7 {
+			t.Errorf("prop scatterer off the panel plane: %v", r.Pos)
+		}
+		if r.Strength <= 0 {
+			t.Error("non-positive strength")
+		}
+	}
+}

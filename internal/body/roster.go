@@ -1,0 +1,41 @@
+package body
+
+// RosterEntry describes one row of the paper's Table I demographics.
+type RosterEntry struct {
+	FirstID, LastID int
+	Gender          Gender
+	AgeBand         string
+	Occupation      string
+}
+
+// TableI returns the demographic strata of the paper's Table I.
+func TableI() []RosterEntry {
+	return []RosterEntry{
+		{FirstID: 1, LastID: 5, Gender: Male, AgeBand: "10-20", Occupation: "Undergraduate Student"},
+		{FirstID: 6, LastID: 6, Gender: Female, AgeBand: "10-20", Occupation: "Undergraduate Student"},
+		{FirstID: 7, LastID: 15, Gender: Male, AgeBand: "20-30", Occupation: "Graduate Student"},
+		{FirstID: 16, LastID: 19, Gender: Female, AgeBand: "20-30", Occupation: "Graduate Student"},
+		{FirstID: 20, LastID: 20, Gender: Male, AgeBand: "30-40", Occupation: "Faculty, Staff and Engineer"},
+	}
+}
+
+// Roster generates the paper's 20 synthetic subjects with Table I
+// demographics. Profiles are deterministic: calling Roster twice yields
+// identical subjects.
+func Roster() []Profile {
+	var out []Profile
+	for _, e := range TableI() {
+		for id := e.FirstID; id <= e.LastID; id++ {
+			out = append(out, NewProfile(id, e.Gender, e.AgeBand, e.Occupation))
+		}
+	}
+	return out
+}
+
+// SplitRoster partitions the roster into the paper's 12 registered users
+// and 8 spoofers (§VI-A: "12 of them register with our authentication
+// system while the rest 8 volunteers act as spoofers").
+func SplitRoster() (registered, spoofers []Profile) {
+	all := Roster()
+	return all[:12], all[12:]
+}

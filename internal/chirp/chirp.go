@@ -1,0 +1,103 @@
+// Package chirp synthesizes the linear frequency modulated (LFM) probe
+// signals EchoImage emits and schedules them into beep trains (§V-A of the
+// paper: 2–3 kHz band, 2 ms length, 0.5 s interval).
+package chirp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params describes an LFM chirp s(t) = A·cos(2π(f0·t + B/(2T)·t²)) swept
+// from StartHz to EndHz over Duration seconds (Eq. 2 in the paper, with the
+// time origin shifted to the chirp start).
+type Params struct {
+	// StartHz and EndHz are the sweep edges. EndHz < StartHz yields a
+	// down-chirp.
+	StartHz float64
+	EndHz   float64
+	// Duration is the chirp length in seconds (the paper uses 0.002 s).
+	Duration float64
+	// Amplitude is the peak amplitude A.
+	Amplitude float64
+	// SampleRate is the synthesis rate in Hz (the paper records at 48 kHz).
+	SampleRate float64
+	// TaperHann applies a Hann amplitude taper across the chirp. An
+	// untapered LFM chirp has strong autocorrelation sidelobes that leak
+	// direct-path energy into the echo search window; tapering is standard
+	// sonar practice and also softens the audible click.
+	TaperHann bool
+}
+
+// Default returns the paper's beep parameters: 2–3 kHz, 2 ms, 48 kHz, with
+// a Hann taper.
+func Default() Params {
+	return Params{
+		StartHz:    2000,
+		EndHz:      3000,
+		Duration:   0.002,
+		Amplitude:  1,
+		SampleRate: 48000,
+		TaperHann:  true,
+	}
+}
+
+// Validate checks the parameters for physical plausibility.
+func (p Params) Validate() error {
+	switch {
+	case p.SampleRate <= 0:
+		return fmt.Errorf("chirp: sample rate %g <= 0", p.SampleRate)
+	case p.Duration <= 0:
+		return fmt.Errorf("chirp: duration %g <= 0", p.Duration)
+	case p.StartHz <= 0 || p.EndHz <= 0:
+		return fmt.Errorf("chirp: non-positive sweep edge (%g, %g)", p.StartHz, p.EndHz)
+	case p.StartHz >= p.SampleRate/2 || p.EndHz >= p.SampleRate/2:
+		return fmt.Errorf("chirp: sweep edge beyond Nyquist %g", p.SampleRate/2)
+	case p.Amplitude <= 0:
+		return fmt.Errorf("chirp: amplitude %g <= 0", p.Amplitude)
+	}
+	return nil
+}
+
+// NumSamples returns the chirp length in samples (rounded to nearest,
+// minimum one).
+func (p Params) NumSamples() int {
+	n := int(math.Round(p.Duration * p.SampleRate))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// CenterHz returns the arithmetic center frequency f0 of the sweep.
+func (p Params) CenterHz() float64 { return (p.StartHz + p.EndHz) / 2 }
+
+// BandwidthHz returns the absolute sweep bandwidth B.
+func (p Params) BandwidthHz() float64 { return math.Abs(p.EndHz - p.StartHz) }
+
+// Samples synthesizes the chirp at the configured sample rate.
+func (p Params) Samples() []float64 {
+	n := p.NumSamples()
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = p.At(float64(i) / p.SampleRate)
+	}
+	return out
+}
+
+// At evaluates the continuous-time chirp at time t seconds from the chirp
+// start. Outside [0, Duration) the chirp is silent. This analytic form is
+// what the acoustic simulator uses to realize exact fractional propagation
+// delays.
+func (p Params) At(t float64) float64 {
+	if t < 0 || t >= p.Duration {
+		return 0
+	}
+	sweep := (p.EndHz - p.StartHz) / p.Duration
+	phase := 2 * math.Pi * (p.StartHz*t + sweep/2*t*t)
+	v := p.Amplitude * math.Cos(phase)
+	if p.TaperHann {
+		v *= 0.5 * (1 - math.Cos(2*math.Pi*t/p.Duration))
+	}
+	return v
+}

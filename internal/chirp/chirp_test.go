@@ -1,0 +1,148 @@
+package chirp
+
+import (
+	"math"
+	"testing"
+
+	"echoimage/internal/dsp"
+)
+
+func TestDefaultParams(t *testing.T) {
+	p := Default()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	if p.StartHz != 2000 || p.EndHz != 3000 {
+		t.Errorf("band %g-%g, want 2000-3000", p.StartHz, p.EndHz)
+	}
+	if p.NumSamples() != 96 {
+		t.Errorf("NumSamples = %d, want 96 (2 ms at 48 kHz)", p.NumSamples())
+	}
+	if p.CenterHz() != 2500 {
+		t.Errorf("CenterHz = %g", p.CenterHz())
+	}
+	if p.BandwidthHz() != 1000 {
+		t.Errorf("BandwidthHz = %g", p.BandwidthHz())
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []Params{
+		{StartHz: 2000, EndHz: 3000, Duration: 0.002, Amplitude: 1, SampleRate: 0},
+		{StartHz: 2000, EndHz: 3000, Duration: 0, Amplitude: 1, SampleRate: 48000},
+		{StartHz: 0, EndHz: 3000, Duration: 0.002, Amplitude: 1, SampleRate: 48000},
+		{StartHz: 2000, EndHz: 30000, Duration: 0.002, Amplitude: 1, SampleRate: 48000},
+		{StartHz: 2000, EndHz: 3000, Duration: 0.002, Amplitude: 0, SampleRate: 48000},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestChirpSpectrumInBand(t *testing.T) {
+	p := Default()
+	s := p.Samples()
+	// Zero-pad for frequency resolution.
+	padded := make([]float64, 4096)
+	copy(padded, s)
+	spec := dsp.FFTReal(padded)
+	binHz := p.SampleRate / 4096
+	var inBand, total float64
+	for k := 1; k < 2048; k++ {
+		f := float64(k) * binHz
+		mag := real(spec[k])*real(spec[k]) + imag(spec[k])*imag(spec[k])
+		total += mag
+		if f >= 1800 && f <= 3200 {
+			inBand += mag
+		}
+	}
+	if frac := inBand / total; frac < 0.9 {
+		t.Errorf("in-band energy fraction %.3f, want > 0.9", frac)
+	}
+}
+
+func TestAtMatchesSamples(t *testing.T) {
+	p := Default()
+	s := p.Samples()
+	for i, v := range s {
+		if got := p.At(float64(i) / p.SampleRate); math.Abs(got-v) > 1e-12 {
+			t.Fatalf("At(%d/fs) = %g, sample = %g", i, got, v)
+		}
+	}
+	if p.At(-0.001) != 0 || p.At(p.Duration) != 0 {
+		t.Error("chirp not silent outside its support")
+	}
+}
+
+func TestHannTaperEndsQuiet(t *testing.T) {
+	p := Default()
+	s := p.Samples()
+	if math.Abs(s[0]) > 1e-9 {
+		t.Errorf("tapered chirp starts at %g, want 0", s[0])
+	}
+	// The final sample is one step before the exact end of the window.
+	if math.Abs(s[len(s)-1]) > 0.05 {
+		t.Errorf("tapered chirp ends at %g, want ≈ 0", s[len(s)-1])
+	}
+}
+
+func TestUntaperedChirpFullAmplitude(t *testing.T) {
+	p := Default()
+	p.TaperHann = false
+	s := p.Samples()
+	max := 0.0
+	for _, v := range s {
+		if math.Abs(v) > max {
+			max = math.Abs(v)
+		}
+	}
+	if max < 0.98 {
+		t.Errorf("untapered peak %g, want ≈ 1", max)
+	}
+}
+
+func TestTrainSchedule(t *testing.T) {
+	tr := DefaultTrain(5)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("default train invalid: %v", err)
+	}
+	starts := tr.StartTimes()
+	if len(starts) != 5 || starts[0] != 0 || math.Abs(starts[4]-2.0) > 1e-12 {
+		t.Errorf("start times %v", starts)
+	}
+	if tr.TotalDuration() != 2.5 {
+		t.Errorf("TotalDuration = %g, want 2.5", tr.TotalDuration())
+	}
+}
+
+func TestTrainValidate(t *testing.T) {
+	tr := DefaultTrain(0)
+	if err := tr.Validate(); err == nil {
+		t.Error("zero-count train accepted")
+	}
+	tr = Train{Chirp: Default(), IntervalSec: 0.001, Count: 2}
+	if err := tr.Validate(); err == nil {
+		t.Error("interval shorter than chirp accepted")
+	}
+}
+
+func TestTrainEmitAt(t *testing.T) {
+	tr := DefaultTrain(3)
+	// During the second beep's chirp window the train is live.
+	if tr.EmitAt(0.5005) == 0 {
+		t.Error("silent during second beep")
+	}
+	// Between beeps the train is silent.
+	if tr.EmitAt(0.25) != 0 {
+		t.Error("not silent between beeps")
+	}
+	// After the last interval the train is over.
+	if tr.EmitAt(1.6) != 0 {
+		t.Error("not silent after the train")
+	}
+	if tr.EmitAt(-1) != 0 {
+		t.Error("not silent before the train")
+	}
+}

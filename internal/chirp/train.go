@@ -1,0 +1,61 @@
+package chirp
+
+import "fmt"
+
+// Train describes a sequence of identical beeps separated by a fixed
+// interval, matching the paper's probing schedule (beep every 0.5 s).
+type Train struct {
+	Chirp Params
+	// IntervalSec is the start-to-start spacing between consecutive beeps.
+	IntervalSec float64
+	// Count is the number of beeps L.
+	Count int
+}
+
+// DefaultTrain returns the paper's schedule: default chirp, 0.5 s interval.
+func DefaultTrain(count int) Train {
+	return Train{Chirp: Default(), IntervalSec: 0.5, Count: count}
+}
+
+// Validate checks the schedule.
+func (t Train) Validate() error {
+	if err := t.Chirp.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case t.Count < 1:
+		return fmt.Errorf("chirp: train count %d < 1", t.Count)
+	case t.IntervalSec < t.Chirp.Duration:
+		return fmt.Errorf("chirp: interval %gs shorter than chirp %gs", t.IntervalSec, t.Chirp.Duration)
+	}
+	return nil
+}
+
+// StartTimes returns the emission time of each beep in seconds.
+func (t Train) StartTimes() []float64 {
+	out := make([]float64, t.Count)
+	for i := range out {
+		out[i] = float64(i) * t.IntervalSec
+	}
+	return out
+}
+
+// TotalDuration returns the time from the first beep's start until the last
+// beep's interval has elapsed.
+func (t Train) TotalDuration() float64 {
+	return float64(t.Count) * t.IntervalSec
+}
+
+// EmitAt evaluates the whole train at absolute time t seconds: the beep
+// whose window contains t contributes, all others are silent. Beeps do not
+// overlap for any valid schedule.
+func (t Train) EmitAt(at float64) float64 {
+	if at < 0 || t.Count == 0 {
+		return 0
+	}
+	idx := int(at / t.IntervalSec)
+	if idx >= t.Count {
+		return 0
+	}
+	return t.Chirp.At(at - float64(idx)*t.IntervalSec)
+}

@@ -1,0 +1,214 @@
+// Package cmat implements the small dense complex linear algebra MVDR
+// beamforming needs: Hermitian covariance matrices, Gauss-Jordan inversion
+// with partial pivoting, and matrix-vector products. Matrices are tiny
+// (M = number of microphones, typically 6), so clarity beats asymptotics.
+package cmat
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Matrix is a dense row-major complex matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// New returns a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("cmat: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// AddScaledIdentity adds s to every diagonal element in place and returns m.
+// It is used for diagonal loading of covariance estimates.
+func (m *Matrix) AddScaledIdentity(s complex128) *Matrix {
+	n := m.Rows
+	if m.Cols < n {
+		n = m.Cols
+	}
+	for i := 0; i < n; i++ {
+		m.Data[i*m.Cols+i] += s
+	}
+	return m
+}
+
+// MulVec computes m·x for a vector x of length m.Cols.
+func (m *Matrix) MulVec(x []complex128) ([]complex128, error) {
+	if len(x) != m.Cols {
+		return nil, fmt.Errorf("cmat: MulVec dimension mismatch: %dx%d by %d", m.Rows, m.Cols, len(x))
+	}
+	out := make([]complex128, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s complex128
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Inverse returns the inverse of a square matrix via Gauss-Jordan
+// elimination with partial pivoting. Singular (or numerically singular)
+// matrices return an error.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("cmat: cannot invert %dx%d matrix", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	a := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest magnitude in this column at or below the
+		// diagonal.
+		pivot, pivotMag := -1, 0.0
+		for r := col; r < n; r++ {
+			if mag := cmplx.Abs(a.At(r, col)); mag > pivotMag {
+				pivot, pivotMag = r, mag
+			}
+		}
+		if pivot < 0 || pivotMag < 1e-300 {
+			return nil, fmt.Errorf("cmat: singular matrix (pivot %d)", col)
+		}
+		if pivot != col {
+			swapRows(a, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		// Scale the pivot row.
+		p := a.At(col, col)
+		for j := 0; j < n; j++ {
+			a.Set(col, j, a.At(col, j)/p)
+			inv.Set(col, j, inv.At(col, j)/p)
+		}
+		// Eliminate the column from every other row.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				a.Set(r, j, a.At(r, j)-f*a.At(col, j))
+				inv.Set(r, j, inv.At(r, j)-f*inv.At(col, j))
+			}
+		}
+	}
+	return inv, nil
+}
+
+func swapRows(m *Matrix, i, j int) {
+	ri := m.Data[i*m.Cols : (i+1)*m.Cols]
+	rj := m.Data[j*m.Cols : (j+1)*m.Cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// Hermitian reports whether m equals its conjugate transpose within tol.
+func (m *Matrix) Hermitian(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i; j < m.Cols; j++ {
+			if cmplx.Abs(m.At(i, j)-cmplx.Conj(m.At(j, i))) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Dot computes the Hermitian inner product conj(a)ᵀ·b.
+func Dot(a, b []complex128) complex128 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var s complex128
+	for i := 0; i < n; i++ {
+		s += cmplx.Conj(a[i]) * b[i]
+	}
+	return s
+}
+
+// OuterAccumulate adds the outer product x·conj(x)ᵀ into m in place. It is
+// the building block for sample covariance estimation.
+func OuterAccumulate(m *Matrix, x []complex128) error {
+	if m.Rows != m.Cols || m.Rows != len(x) {
+		return fmt.Errorf("cmat: outer product dimension mismatch: %dx%d with %d", m.Rows, m.Cols, len(x))
+	}
+	for i := range x {
+		xi := x[i]
+		for j := range x {
+			m.Data[i*m.Cols+j] += xi * cmplx.Conj(x[j])
+		}
+	}
+	return nil
+}
+
+// Scale multiplies every element in place and returns m.
+func (m *Matrix) Scale(s complex128) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// Trace returns the sum of diagonal elements of a square matrix.
+func (m *Matrix) Trace() complex128 {
+	var t complex128
+	n := m.Rows
+	if m.Cols < n {
+		n = m.Cols
+	}
+	for i := 0; i < n; i++ {
+		t += m.At(i, i)
+	}
+	return t
+}
+
+// MaxAbsDiff returns the largest element-wise magnitude difference between
+// a and b, or +Inf when shapes differ.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return math.Inf(1)
+	}
+	var worst float64
+	for i := range a.Data {
+		if d := cmplx.Abs(a.Data[i] - b.Data[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

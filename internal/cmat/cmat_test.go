@@ -1,0 +1,171 @@
+package cmat
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMatrix(rng *rand.Rand, n int) *Matrix {
+	m := New(n, n)
+	for i := range m.Data {
+		m.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return m
+}
+
+func matMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s complex128
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 6, 10} {
+		m := randMatrix(rng, n)
+		inv, err := m.Inverse()
+		if err != nil {
+			t.Fatalf("n=%d: inverse: %v", n, err)
+		}
+		if d := MaxAbsDiff(matMul(m, inv), Identity(n)); d > 1e-9 {
+			t.Errorf("n=%d: M·M⁻¹ differs from I by %g", n, d)
+		}
+		if d := MaxAbsDiff(matMul(inv, m), Identity(n)); d > 1e-9 {
+			t.Errorf("n=%d: M⁻¹·M differs from I by %g", n, d)
+		}
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 2)
+	m.Set(1, 1, 4)
+	if _, err := m.Inverse(); err == nil {
+		t.Error("singular matrix inverted")
+	}
+	r := New(2, 3)
+	if _, err := r.Inverse(); err == nil {
+		t.Error("rectangular matrix inverted")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2i)
+	m.Set(1, 0, -1)
+	m.Set(1, 1, 3)
+	got, err := m.MulVec([]complex128{1, 1i})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []complex128{1 + 2i*1i, -1 + 3i}
+	for i := range want {
+		if cmplx.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("index %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := m.MulVec([]complex128{1}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestOuterAccumulateHermitian(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		m := New(n, n)
+		for k := 0; k < 4; k++ {
+			x := make([]complex128, n)
+			for i := range x {
+				x[i] = complex(r.NormFloat64(), r.NormFloat64())
+			}
+			if err := OuterAccumulate(m, x); err != nil {
+				return false
+			}
+		}
+		// Accumulated outer products are Hermitian with non-negative
+		// diagonal.
+		if !m.Hermitian(1e-10) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if real(m.At(i, i)) < 0 || math.Abs(imag(m.At(i, i))) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOuterAccumulateDimension(t *testing.T) {
+	m := New(2, 2)
+	if err := OuterAccumulate(m, []complex128{1, 2, 3}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := []complex128{1 + 1i, 2}
+	b := []complex128{1, 1i}
+	// conj(a)ᵀ·b = (1-1i)(1) + 2(1i) = 1 - 1i + 2i = 1 + 1i.
+	if got := Dot(a, b); cmplx.Abs(got-(1+1i)) > 1e-12 {
+		t.Errorf("Dot = %v, want 1+1i", got)
+	}
+}
+
+func TestTraceScaleAddIdentity(t *testing.T) {
+	m := Identity(3)
+	m.Scale(2)
+	if m.Trace() != 6 {
+		t.Errorf("trace %v, want 6", m.Trace())
+	}
+	m.AddScaledIdentity(1)
+	if m.Trace() != 9 {
+		t.Errorf("trace %v, want 9", m.Trace())
+	}
+	if m.At(0, 1) != 0 {
+		t.Error("off-diagonal changed")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := Identity(2)
+	c := m.Clone()
+	c.Set(0, 0, 5)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestMaxAbsDiffShapes(t *testing.T) {
+	if d := MaxAbsDiff(Identity(2), Identity(3)); !math.IsInf(d, 1) {
+		t.Errorf("shape mismatch diff = %g, want +Inf", d)
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1, 2) did not panic")
+		}
+	}()
+	New(-1, 2)
+}

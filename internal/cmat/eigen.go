@@ -1,0 +1,103 @@
+package cmat
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// EigenHermitian returns the k largest eigenvalues and orthonormal
+// eigenvectors of a Hermitian positive semi-definite matrix via power
+// iteration with deflation — ample for the small covariance matrices
+// array processing uses.
+func EigenHermitian(m *Matrix, k int) (values []float64, vectors [][]complex128, err error) {
+	if m.Rows != m.Cols {
+		return nil, nil, fmt.Errorf("cmat: eigen of non-square %dx%d", m.Rows, m.Cols)
+	}
+	if !m.Hermitian(1e-9) {
+		return nil, nil, fmt.Errorf("cmat: eigen of non-Hermitian matrix")
+	}
+	n := m.Rows
+	if k < 1 || k > n {
+		return nil, nil, fmt.Errorf("cmat: k=%d outside [1, %d]", k, n)
+	}
+	work := m.Clone()
+	rng := rand.New(rand.NewSource(1))
+	for comp := 0; comp < k; comp++ {
+		v := make([]complex128, n)
+		for i := range v {
+			v[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		normalizeVec(v)
+		// Keep v orthogonal to the eigenvectors already found, so that
+		// degenerate (numerically zero) subspaces still come out
+		// orthonormal.
+		orthogonalize := func(x []complex128) {
+			for _, prev := range vectors {
+				d := Dot(prev, x)
+				for i := range x {
+					x[i] -= d * prev[i]
+				}
+			}
+		}
+		orthogonalize(v)
+		normalizeVec(v)
+		var lambda float64
+		for iter := 0; iter < 200; iter++ {
+			next, err := work.MulVec(v)
+			if err != nil {
+				return nil, nil, err
+			}
+			orthogonalize(next)
+			lambda = vecNorm(next)
+			if lambda < 1e-14 {
+				// Remaining spectrum is (numerically) zero; keep the
+				// current orthonormal direction.
+				next = v
+				lambda = 0
+			} else {
+				inv := complex(1/lambda, 0)
+				for i := range next {
+					next[i] *= inv
+				}
+			}
+			diff := 0.0
+			for i := range v {
+				diff += cmplx.Abs(next[i] - v[i])
+			}
+			v = next
+			if diff < 1e-12 {
+				break
+			}
+		}
+		values = append(values, lambda)
+		vectors = append(vectors, v)
+		// Deflate: work ← work − λ·v·vᴴ.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				work.Set(i, j, work.At(i, j)-complex(lambda, 0)*v[i]*cmplx.Conj(v[j]))
+			}
+		}
+	}
+	return values, vectors, nil
+}
+
+func vecNorm(v []complex128) float64 {
+	var s float64
+	for _, x := range v {
+		s += real(x)*real(x) + imag(x)*imag(x)
+	}
+	return math.Sqrt(s)
+}
+
+func normalizeVec(v []complex128) {
+	n := vecNorm(v)
+	if n == 0 {
+		return
+	}
+	inv := complex(1/n, 0)
+	for i := range v {
+		v[i] *= inv
+	}
+}

@@ -1,0 +1,101 @@
+package cmat
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestEigenHermitianDiagonal(t *testing.T) {
+	m := New(3, 3)
+	m.Set(0, 0, 5)
+	m.Set(1, 1, 2)
+	m.Set(2, 2, 1)
+	values, vectors, err := EigenHermitian(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 2, 1}
+	for i, v := range values {
+		if math.Abs(v-want[i]) > 1e-8 {
+			t.Errorf("eigenvalue %d = %g, want %g", i, v, want[i])
+		}
+	}
+	// Each eigenvector concentrates on its axis.
+	for i, v := range vectors {
+		if cmplx.Abs(v[i]) < 0.999 {
+			t.Errorf("eigenvector %d not axis-aligned: %v", i, v)
+		}
+	}
+}
+
+func TestEigenHermitianFromOuterProducts(t *testing.T) {
+	// Rank-2 PSD matrix: eigen should recover the planted structure.
+	rng := rand.New(rand.NewSource(1))
+	n := 6
+	u := make([]complex128, n)
+	w := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		u[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		w[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	normalizeVec(u)
+	// Orthogonalize w against u.
+	d := Dot(u, w)
+	for i := range w {
+		w[i] -= d * u[i]
+	}
+	normalizeVec(w)
+
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, 9*u[i]*cmplx.Conj(u[j])+4*w[i]*cmplx.Conj(w[j]))
+		}
+	}
+	values, vectors, err := EigenHermitian(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(values[0]-9) > 1e-6 || math.Abs(values[1]-4) > 1e-6 {
+		t.Errorf("top eigenvalues %v, want [9 4 …]", values[:2])
+	}
+	for _, v := range values[2:] {
+		if v > 1e-6 {
+			t.Errorf("null-space eigenvalue %g, want 0", v)
+		}
+	}
+	// Top eigenvector parallel to u (up to phase).
+	if p := cmplx.Abs(Dot(vectors[0], u)); p < 0.999 {
+		t.Errorf("top eigenvector overlap with u = %g", p)
+	}
+	// Orthonormality.
+	for i := range vectors {
+		for j := i; j < len(vectors); j++ {
+			got := cmplx.Abs(Dot(vectors[i], vectors[j]))
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(got-want) > 1e-6 {
+				t.Errorf("⟨v%d, v%d⟩ = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestEigenHermitianValidation(t *testing.T) {
+	if _, _, err := EigenHermitian(New(2, 3), 1); err == nil {
+		t.Error("rectangular matrix accepted")
+	}
+	nonH := New(2, 2)
+	nonH.Set(0, 1, 1i)
+	nonH.Set(1, 0, 1i)
+	if _, _, err := EigenHermitian(nonH, 1); err == nil {
+		t.Error("non-Hermitian matrix accepted")
+	}
+	if _, _, err := EigenHermitian(Identity(2), 3); err == nil {
+		t.Error("k > n accepted")
+	}
+}

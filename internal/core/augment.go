@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Augment synthesizes a training image at a new plane distance newDist from
+// a real image captured at ai.PlaneDistM, using the sound-propagation
+// inverse-square law (§V-F, Eq. 13–15):
+//
+//	P′_k = (D_k / D′_k)² · P_k
+//
+// where D_k and D′_k are the distances from the array origin to grid k on
+// the original and synthesized planes. Grid coordinates (x_k, z_k) are
+// preserved, so pixel k keeps its meaning across distances.
+func Augment(ai *AcousticImage, newDist float64) (*AcousticImage, error) {
+	if ai == nil {
+		return nil, fmt.Errorf("core: nil image")
+	}
+	if newDist <= 0 {
+		return nil, fmt.Errorf("core: augment distance %g <= 0", newDist)
+	}
+	out := &AcousticImage{
+		Image:         ai.Image.Clone(),
+		PlaneDistM:    newDist,
+		GridSpacingM:  ai.GridSpacingM,
+		PlaneCenterZM: ai.PlaneCenterZM,
+	}
+	for _, band := range ai.Bands {
+		out.Bands = append(out.Bands, band.Clone())
+	}
+	for r := 0; r < ai.Rows; r++ {
+		for c := 0; c < ai.Cols; c++ {
+			g := ai.GridCenter(r, c)
+			// D_k with the original plane distance.
+			dk2 := g.X*g.X + ai.PlaneDistM*ai.PlaneDistM + g.Z*g.Z
+			// D′_k with the synthesized plane distance.
+			dk2New := g.X*g.X + newDist*newDist + g.Z*g.Z
+			scale := dk2 / dk2New
+			out.Set(r, c, ai.At(r, c)*scale)
+			for _, band := range out.Bands {
+				band.Set(r, c, band.At(r, c)*scale)
+			}
+		}
+	}
+	return out, nil
+}
+
+// AugmentCapture synthesizes a capture of the same user standing at a new
+// distance, from a real capture taken at fromDistM. This is the
+// reproduction's extension to the paper's image-level augmentation
+// (Eq. 15): instead of rescaling pixels, it moves the isolated body echo in
+// TIME by the round-trip difference and attenuates it by the two-way
+// spreading ratio, leaving the static background untouched:
+//
+//	out = reference + (from/to)² · shift(capture − reference, 2·(to−from)/c)
+//
+// The synthesized capture then flows through the ordinary pipeline, so the
+// image's ring geometry — the feature the classifier actually relies on —
+// is correct for the new distance, which the inverse-square pixel transform
+// cannot achieve. Angular compression is ignored (second order under the
+// array's wide beam). Requires a background reference on the capture.
+func AugmentCapture(cap *Capture, fromDistM, toDistM float64) (*Capture, error) {
+	switch {
+	case cap == nil:
+		return nil, fmt.Errorf("core: nil capture")
+	case cap.Reference == nil:
+		return nil, fmt.Errorf("core: capture augmentation needs a background reference")
+	case fromDistM <= 0 || toDistM <= 0:
+		return nil, fmt.Errorf("core: augment distances (%g → %g) must be positive", fromDistM, toDistM)
+	case cap.SampleRate <= 0:
+		return nil, fmt.Errorf("core: capture sample rate %g", cap.SampleRate)
+	}
+	const c = 343.0
+	shift := 2 * (toDistM - fromDistM) / c * cap.SampleRate
+	scale := (fromDistM / toDistM) * (fromDistM / toDistM)
+
+	out := &Capture{
+		Beeps:      make([][][]float64, len(cap.Beeps)),
+		SampleRate: cap.SampleRate,
+		Reference:  cap.Reference,
+	}
+	base := int(math.Floor(shift))
+	frac := shift - float64(base)
+	for l, beep := range cap.Beeps {
+		out.Beeps[l] = make([][]float64, len(beep))
+		for m, ch := range beep {
+			ref := cap.Reference[m]
+			n := len(ch)
+			echo := make([]float64, n)
+			for i := 0; i < n; i++ {
+				v := ch[i]
+				if i < len(ref) {
+					v -= ref[i]
+				}
+				echo[i] = v
+			}
+			shifted := make([]float64, n)
+			for i := 0; i < n; i++ {
+				j := i - base
+				if j-1 < 0 || j >= n {
+					continue
+				}
+				shifted[i] = echo[j]*(1-frac) + echo[j-1]*frac
+			}
+			outCh := make([]float64, n)
+			for i := 0; i < n; i++ {
+				outCh[i] = scale * shifted[i]
+				if i < len(ref) {
+					outCh[i] += ref[i]
+				}
+			}
+			out.Beeps[l][m] = outCh
+		}
+	}
+	return out, nil
+}
+
+// AugmentSweep synthesizes one image per distance in distances, skipping
+// any distance within tol of the source image's own distance (the real
+// sample already covers it).
+func AugmentSweep(ai *AcousticImage, distances []float64, tol float64) ([]*AcousticImage, error) {
+	out := make([]*AcousticImage, 0, len(distances))
+	for _, d := range distances {
+		if diff := d - ai.PlaneDistM; diff < tol && diff > -tol {
+			continue
+		}
+		img, err := Augment(ai, d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, img)
+	}
+	return out, nil
+}

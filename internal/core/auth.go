@@ -1,0 +1,355 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"echoimage/internal/features"
+	"echoimage/internal/svm"
+)
+
+// AuthConfig parameterizes the user-authentication component (§V-D/E):
+// the frozen feature extractor, the SVDD spoofer gate and the n-class SVM.
+type AuthConfig struct {
+	// Features sizes the frozen VGGishLite extractor.
+	Features features.Config
+	// SVC configures the n-class identification SVM.
+	SVC svm.SVCConfig
+	// SVDD configures the one-class spoofer gate.
+	SVDD svm.SVDDConfig
+	// Gamma is the RBF kernel width; 0 calibrates it per plane bin from
+	// the supervised within-class distances of the enrollment set.
+	Gamma float64
+	// GammaWithinFactor scales the calibrated gamma: gamma =
+	// factor / mean(within-class ‖a−b‖²). 0 means 1.
+	GammaWithinFactor float64
+	// BinWidthM groups enrollment images by imaging-plane distance. An
+	// acoustic image's geometry (ring structure) is a function of its
+	// plane distance, so models are conditioned per bin; comparing images
+	// across bins conflates geometry with identity. 0 means 0.1 m.
+	BinWidthM float64
+	// WhitenDirections is the number of within-class nuisance directions
+	// suppressed by WCCN before classification; 0 (the default) disables
+	// whitening, which empirically serves this feature space best — the
+	// option exists for ablation.
+	WhitenDirections int
+	// PooledGate switches the spoofer gate to the paper's exact design: a
+	// single SVDD over all registered users' enrollment data per bin. The
+	// default (false) verifies against the identified user's own SVDD
+	// sphere — identify-then-verify — which is tighter: an impostor must
+	// resemble one specific user, not merely fall inside the union hull
+	// of all users.
+	PooledGate bool
+}
+
+// DefaultAuthConfig matches the paper's classifier stack.
+func DefaultAuthConfig() AuthConfig {
+	return AuthConfig{
+		Features: features.DefaultConfig(),
+		SVC:      svm.DefaultSVCConfig(),
+		SVDD:     svm.DefaultSVDDConfig(),
+	}
+}
+
+// AuthResult is one authentication decision.
+type AuthResult struct {
+	// Accepted reports whether the sample passed the SVDD gate.
+	Accepted bool
+	// UserID is the identified registered user; 0 when rejected.
+	UserID int
+	// GateScore is the SVDD acceptance margin (positive inside the
+	// sphere).
+	GateScore float64
+	// Bin is the plane-distance bin the decision was made in.
+	Bin int
+}
+
+// binModel is the classifier stack for one plane-distance bin.
+type binModel struct {
+	whiten   *Whitener
+	gate     *svm.SVDD         // pooled gate over every user in the bin
+	userGate map[int]*svm.SVDD // per-user verification spheres
+	identify *svm.MultiClass   // nil when the bin holds a single user
+	users    []int
+}
+
+// Authenticator is the trained §V-E classifier stack, conditioned on the
+// imaging-plane distance bin. In the single-user scenario only the SVDD
+// gate exists per bin; with n ≥ 2 users the gate is trained on all users'
+// data in the bin and an n-class SVM identifies which user.
+type Authenticator struct {
+	extractor *features.Extractor
+	featCfg   features.Config
+	bins      map[int]*binModel
+	binWidth  float64
+	users     []int
+}
+
+// TrainAuthenticator fits the classifier stack from enrollment images,
+// keyed by registered user ID (IDs must be positive).
+func TrainAuthenticator(cfg AuthConfig, enrollment map[int][]*AcousticImage) (*Authenticator, error) {
+	if len(enrollment) == 0 {
+		return nil, fmt.Errorf("core: no enrollment data")
+	}
+	ext, err := features.NewExtractor(cfg.Features)
+	if err != nil {
+		return nil, fmt.Errorf("core: build extractor: %w", err)
+	}
+	binWidth := cfg.BinWidthM
+	if binWidth <= 0 {
+		binWidth = 0.1
+	}
+
+	users := make([]int, 0, len(enrollment))
+	for id := range enrollment {
+		if id <= 0 {
+			return nil, fmt.Errorf("core: user ID %d must be positive", id)
+		}
+		users = append(users, id)
+	}
+	sort.Ints(users)
+
+	type binData struct {
+		x      [][]float64
+		labels []int
+	}
+	binSets := make(map[int]*binData)
+	for _, id := range users {
+		imgs := enrollment[id]
+		if len(imgs) == 0 {
+			return nil, fmt.Errorf("core: user %d has no enrollment images", id)
+		}
+		for _, img := range imgs {
+			if img == nil || img.Image == nil {
+				return nil, fmt.Errorf("core: user %d has a nil enrollment image", id)
+			}
+			bin := int(math.Round(img.PlaneDistM / binWidth))
+			bd := binSets[bin]
+			if bd == nil {
+				bd = &binData{}
+				binSets[bin] = bd
+			}
+			bd.x = append(bd.x, extractImage(ext, img))
+			bd.labels = append(bd.labels, id)
+		}
+	}
+
+	auth := &Authenticator{
+		extractor: ext,
+		featCfg:   cfg.Features,
+		bins:      make(map[int]*binModel, len(binSets)),
+		binWidth:  binWidth,
+		users:     users,
+	}
+	whitenK := cfg.WhitenDirections
+	for bin, bd := range binSets {
+		bm := &binModel{users: distinctLabels(bd.labels)}
+		x := bd.x
+		if whitenK > 0 {
+			wh, err := FitWhitener(bd.x, bd.labels, whitenK)
+			if err != nil {
+				return nil, fmt.Errorf("core: fit whitener (bin %d): %w", bin, err)
+			}
+			bm.whiten = wh
+			x = make([][]float64, len(bd.x))
+			for i, v := range bd.x {
+				x[i] = wh.Apply(v)
+			}
+		}
+		gamma := cfg.Gamma
+		if gamma <= 0 {
+			gamma = calibrateGamma(x, bd.labels, cfg.GammaWithinFactor)
+		}
+		kernel := svm.RBF{Gamma: gamma}
+		gate, err := svm.TrainSVDD(kernel, x, cfg.SVDD)
+		if err != nil {
+			return nil, fmt.Errorf("core: train SVDD gate (bin %d): %w", bin, err)
+		}
+		bm.gate = gate
+		if !cfg.PooledGate {
+			bm.userGate = make(map[int]*svm.SVDD, len(bm.users))
+			for _, id := range bm.users {
+				var ux [][]float64
+				for i, l := range bd.labels {
+					if l == id {
+						ux = append(ux, x[i])
+					}
+				}
+				if len(ux) < 3 {
+					continue // too little data; the pooled gate covers it
+				}
+				ug, err := svm.TrainSVDD(kernel, ux, cfg.SVDD)
+				if err != nil {
+					return nil, fmt.Errorf("core: train user %d SVDD (bin %d): %w", id, bin, err)
+				}
+				bm.userGate[id] = ug
+			}
+		}
+		if len(bm.users) > 1 {
+			mc, err := svm.TrainMultiClass(kernel, x, bd.labels, cfg.SVC)
+			if err != nil {
+				return nil, fmt.Errorf("core: train identification SVM (bin %d): %w", bin, err)
+			}
+			bm.identify = mc
+		}
+		auth.bins[bin] = bm
+	}
+	return auth, nil
+}
+
+// calibrateGamma sets the RBF width from the supervised within-class
+// spread: gamma = factor / mean(within-class squared distance). This puts
+// same-user kernel values near e^-1 while samples a few within-class radii
+// away (other users, spoofers) decay toward zero.
+func calibrateGamma(xs [][]float64, labels []int, factor float64) float64 {
+	if factor <= 0 {
+		factor = 1
+	}
+	var sum float64
+	var n int
+	for i := range xs {
+		for j := i + 1; j < len(xs); j++ {
+			if labels[i] != labels[j] {
+				continue
+			}
+			var d2 float64
+			for k := range xs[i] {
+				d := xs[i][k] - xs[j][k]
+				d2 += d * d
+			}
+			sum += d2
+			n++
+		}
+	}
+	if n == 0 || sum <= 0 {
+		return svm.GammaScale(xs)
+	}
+	return factor * float64(n) / sum
+}
+
+func distinctLabels(labels []int) []int {
+	seen := make(map[int]struct{}, len(labels))
+	var out []int
+	for _, l := range labels {
+		if _, ok := seen[l]; !ok {
+			seen[l] = struct{}{}
+			out = append(out, l)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Users returns the registered user IDs in ascending order.
+func (a *Authenticator) Users() []int {
+	out := make([]int, len(a.users))
+	copy(out, a.users)
+	return out
+}
+
+// Bins returns the trained plane-distance bins in ascending order.
+func (a *Authenticator) Bins() []int {
+	out := make([]int, 0, len(a.bins))
+	for b := range a.bins {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Extractor exposes the frozen feature extractor (shared with callers that
+// want to cache features).
+func (a *Authenticator) Extractor() *features.Extractor { return a.extractor }
+
+// extractImage builds the feature vector for an acoustic image: the
+// full-band image's features, concatenated with each sub-band image's
+// features when frequency-diverse imaging is enabled.
+func extractImage(ext *features.Extractor, img *AcousticImage) []float64 {
+	if len(img.Bands) == 0 {
+		return ext.Extract(img.Image)
+	}
+	out := make([]float64, 0, ext.Dim()*(1+len(img.Bands)))
+	out = append(out, ext.Extract(img.Image)...)
+	for _, band := range img.Bands {
+		out = append(out, ext.Extract(band)...)
+	}
+	return out
+}
+
+// Authenticate runs the full decision procedure of Figure 10 on one
+// acoustic image: pick the plane bin's model, gate with SVDD, then identify
+// with the n-class SVM.
+func (a *Authenticator) Authenticate(img *AcousticImage) AuthResult {
+	bin := int(math.Round(img.PlaneDistM / a.binWidth))
+	bm := a.bins[bin]
+	if bm == nil {
+		// Fall back to the nearest adjacent bin; a user standing between
+		// enrolled distances should not be rejected for geometry alone.
+		if m, ok := a.bins[bin-1]; ok {
+			bm = m
+			bin--
+		}
+		if m, ok := a.bins[bin+1]; bm == nil && ok {
+			bm = m
+			bin++
+		}
+	}
+	if bm == nil {
+		return AuthResult{Accepted: false, GateScore: -1, Bin: bin}
+	}
+	x := extractImage(a.extractor, img)
+	if bm.whiten != nil {
+		x = bm.whiten.Apply(x)
+	}
+	// Identify first, then verify against the identified user's own
+	// sphere when per-user gates exist; otherwise (or when the user has
+	// too little bin data) the pooled sphere decides.
+	candidate := bm.users[0]
+	if bm.identify != nil {
+		candidate = bm.identify.Predict(x)
+	}
+	gate := bm.gate
+	if ug, ok := bm.userGate[candidate]; ok {
+		gate = ug
+	}
+	score := gate.Score(x)
+	if !gate.Accept(x) {
+		return AuthResult{Accepted: false, GateScore: score, Bin: bin}
+	}
+	return AuthResult{Accepted: true, UserID: candidate, GateScore: score, Bin: bin}
+}
+
+// AuthenticateMajority fuses decisions across the images of one capture
+// (one image per beep): the sample is accepted when a strict majority of
+// images pass the gate, and the identified user is the modal identity among
+// accepted images.
+func (a *Authenticator) AuthenticateMajority(imgs []*AcousticImage) (AuthResult, error) {
+	if len(imgs) == 0 {
+		return AuthResult{}, fmt.Errorf("core: no images to authenticate")
+	}
+	accepted := 0
+	idVotes := make(map[int]int)
+	var scoreSum float64
+	for _, img := range imgs {
+		r := a.Authenticate(img)
+		scoreSum += r.GateScore
+		if r.Accepted {
+			accepted++
+			idVotes[r.UserID]++
+		}
+	}
+	res := AuthResult{GateScore: scoreSum / float64(len(imgs))}
+	if accepted*2 <= len(imgs) {
+		return res, nil
+	}
+	res.Accepted = true
+	bestID, bestVotes := 0, -1
+	for id, v := range idVotes {
+		if v > bestVotes || (v == bestVotes && id < bestID) {
+			bestID, bestVotes = id, v
+		}
+	}
+	res.UserID = bestID
+	return res, nil
+}

@@ -1,0 +1,364 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"echoimage/internal/array"
+	"echoimage/internal/beamform"
+	"echoimage/internal/dsp"
+)
+
+// DistanceEstimate is the output of the ranging component.
+type DistanceEstimate struct {
+	// SlantM is D_f, the distance from the array to the steered body
+	// region along the look direction.
+	SlantM float64
+	// UserM is D_p = D_f·sinφ·sinθ, the user-array distance.
+	UserM float64
+	// EmissionSec is the recovered beep emission time within the window.
+	EmissionSec float64
+	// DirectPeakSec is τ₁, the direct-path correlation peak.
+	DirectPeakSec float64
+	// EchoPeakSec is τ_w′, the selected body-echo peak.
+	EchoPeakSec float64
+	// Envelope is the averaged squared correlation envelope E(t) (Eq. 10),
+	// retained for inspection and the Figure 5 reproduction.
+	Envelope []float64
+	// Peaks is the MaxSet of local maxima found in Envelope.
+	Peaks []dsp.Peak
+}
+
+// DistanceEstimator implements §V-B: MVDR-steer to the user's upper body,
+// matched-filter each beamformed beep against the probe chirp, envelope
+// detect, average |E_l(t)|² over beeps, and locate the body echo peak.
+type DistanceEstimator struct {
+	cfg Config
+	arr *array.Array
+	// edgeBiasSec is the rise time of the compressed pulse from the 25%
+	// envelope level to its peak. A leading-edge detector fires that much
+	// before the scatterer's true delay; estimates add it back.
+	edgeBiasSec float64
+}
+
+// NewDistanceEstimator builds the ranging component.
+func NewDistanceEstimator(cfg Config, arr *array.Array) (*DistanceEstimator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if arr == nil {
+		return nil, fmt.Errorf("core: nil array")
+	}
+	return &DistanceEstimator{
+		cfg:         cfg,
+		arr:         arr,
+		edgeBiasSec: edgeBias(cfg),
+	}, nil
+}
+
+// edgeBias measures, on the template's own autocorrelation envelope, how
+// far the 25%-level leading edge precedes the envelope peak.
+func edgeBias(cfg Config) float64 {
+	template := cfg.Chirp.Samples()
+	corr := dsp.CrossCorrelate(template, template)
+	env := dsp.Envelope(corr)
+	peak := dsp.ArgMax(env)
+	if peak <= 0 {
+		return 0
+	}
+	// The estimator thresholds the squared envelope at 25%, i.e. the
+	// envelope at 50%.
+	threshold := env[peak] * 0.5
+	cross := 0
+	for t := peak; t >= 0; t-- {
+		if env[t] < threshold {
+			cross = t + 1
+			break
+		}
+	}
+	return float64(peak-cross) / cfg.Chirp.SampleRate
+}
+
+// Estimate runs ranging on a capture. noiseOnly may be nil (tail-based
+// noise covariance).
+func (e *DistanceEstimator) Estimate(cap *Capture, noiseOnly [][]float64) (*DistanceEstimate, error) {
+	p, err := preprocess(e.cfg, cap, noiseOnly)
+	if err != nil {
+		return nil, err
+	}
+	return e.estimate(cap.SampleRate, p, true)
+}
+
+// estimate runs the shared ranging core. When useBeamforming is false the
+// correlation is computed on a single raw channel instead of the MVDR
+// output — the baseline the paper argues against, kept for ablation.
+func (e *DistanceEstimator) estimate(fs float64, p *preprocessed, useBeamforming bool) (*DistanceEstimate, error) {
+	cfg := e.cfg
+	template := cfg.Chirp.Samples()
+
+	bf, err := beamform.New(e.arr, p.noiseCov, cfg.CenterFreqHz())
+	if err != nil {
+		return nil, err
+	}
+	dir := cfg.RangingDirection()
+
+	// E(t) = (1/L)·Σ_l |E_l(t)|² (Eq. 10).
+	sum := make([]float64, p.samples)
+	for _, chans := range p.analytic {
+		var signal []float64
+		if useBeamforming {
+			y, err := bf.Steer(chans, dir)
+			if err != nil {
+				return nil, fmt.Errorf("core: steer for ranging: %w", err)
+			}
+			signal = beamform.RealPart(y)
+		} else {
+			signal = beamform.RealPart(chans[0])
+		}
+		corr := dsp.MatchedFilter(signal, template)
+		env := dsp.Envelope(corr)
+		for i, v := range env {
+			sum[i] += v * v
+		}
+	}
+	inv := 1 / float64(len(p.analytic))
+	for i := range sum {
+		sum[i] *= inv
+	}
+
+	// MaxSet search (§V-B): local maxima dominating ±d with value > th.
+	minDist := int(cfg.PeakMinDistSec * fs)
+	_, maxVal := minMax(sum)
+	peaks := dsp.FindPeaks(sum, minDist, cfg.PeakThresholdFrac*maxVal)
+	if len(peaks) == 0 {
+		return nil, fmt.Errorf("core: no correlation peaks found")
+	}
+
+	// τ₁: the direct-path chirp reception. With background calibration the
+	// direct path has been subtracted, so its timing comes from the
+	// reference; otherwise it is the first peak comparable to the global
+	// maximum (the direct path dwarfs echoes and noise).
+	var direct dsp.Peak
+	if p.refDirectIdx >= 0 {
+		direct = dsp.Peak{Index: p.refDirectIdx, Value: maxVal}
+	} else {
+		directFloor := cfg.DirectThresholdFrac * maxVal
+		foundDirect := false
+		for _, pk := range peaks {
+			if pk.Value >= directFloor {
+				direct, foundDirect = pk, true
+				break
+			}
+		}
+		if !foundDirect {
+			return nil, fmt.Errorf("core: no direct-path peak above %.3g", directFloor)
+		}
+	}
+	directSec := float64(direct.Index) / fs
+	emissionSec := directSec - cfg.SpeakerMicDistM/array.SpeedOfSound
+	if emissionSec < 0 {
+		emissionSec = 0
+	}
+
+	// Echo window: EchoWindowSec after the chirp period following τ₁.
+	echoStart := directSec + cfg.ChirpPeriodSec
+	echoEnd := echoStart + cfg.EchoWindowSec
+	var echoSec float64
+	switch cfg.EchoPick {
+	case EchoPickLeadingEdge:
+		lo := int(echoStart*fs) + 1
+		hi := int(echoEnd * fs)
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(sum) {
+			hi = len(sum)
+		}
+		if lo >= hi {
+			return nil, fmt.Errorf("core: empty echo window [%d, %d)", lo, hi)
+		}
+		// Constant-fraction discrimination anchored on the echo complex's
+		// peak: the body's scatterers form one contiguous envelope lump, so
+		// walking backward from the window peak to the 25% level finds the
+		// same leading edge (nearest body surface) even when the strongest
+		// scatterer cluster inside the lump changes between sessions.
+		win := dsp.MovingAverage(sum[lo:hi], int(0.0002*fs))
+		peak := dsp.ArgMax(win)
+		if peak < 0 || win[peak] <= 0 {
+			return nil, fmt.Errorf("core: silent echo window: user out of range or too weak")
+		}
+		// Anchor on the first RISING lump: the direct-path correlation
+		// tail decays monotonically, so the running minimum tracks it
+		// down; the body echo is the first excursion well above both that
+		// minimum and the pre-beep noise floor. Anchoring on the window
+		// maximum alone fails twice — late reverberation can out-peak a
+		// weak far echo, and for weak echoes the early tail residue can
+		// dominate the window.
+		noiseFloor := envelopeNoiseFloor(sum, direct.Index, fs)
+		first := -1
+		runMin := math.Inf(1)
+		for t := 0; t < len(win); t++ {
+			if win[t] < runMin {
+				runMin = win[t]
+			}
+			if win[t] >= 4*runMin && win[t] >= 10*noiseFloor && win[t] >= 0.1*win[peak] {
+				first = t
+				break
+			}
+		}
+		if first < 0 {
+			// Fall back to the first crossing of 30% of the window max.
+			for t := 0; t < len(win); t++ {
+				if win[t] >= 0.3*win[peak] {
+					first = t
+					break
+				}
+			}
+		}
+		if first < 0 {
+			first = peak
+		}
+		// The lump's own peak: the maximum within one compressed-pulse
+		// length after the first crossing.
+		lumpEnd := first + int(cfg.Chirp.Duration*fs)
+		if lumpEnd > len(win) {
+			lumpEnd = len(win)
+		}
+		lumpPeak := first
+		for t := first; t < lumpEnd; t++ {
+			if win[t] > win[lumpPeak] {
+				lumpPeak = t
+			}
+		}
+		threshold := 0.25 * win[lumpPeak]
+		cross := 0
+		for t := lumpPeak; t >= 0; t-- {
+			if win[t] < threshold {
+				cross = t + 1
+				break
+			}
+		}
+		// Sub-sample refinement: linear interpolation of the crossing.
+		edge := float64(cross)
+		if cross > 0 && win[cross] > win[cross-1] {
+			edge = float64(cross-1) + (threshold-win[cross-1])/(win[cross]-win[cross-1])
+		}
+		echoSec = (float64(lo)+edge)/fs + e.edgeBiasSec
+	case EchoPickLargest:
+		var best dsp.Peak
+		found := false
+		for _, pk := range peaks {
+			t := float64(pk.Index) / fs
+			if t <= echoStart || t > echoEnd {
+				continue
+			}
+			if !found || pk.Value > best.Value {
+				best, found = pk, true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("core: no echo peak in (%.4fs, %.4fs]: user out of range or too weak", echoStart, echoEnd)
+		}
+		echoSec = float64(best.Index) / fs
+	default: // EchoPickCentroid
+		lo := int(echoStart*fs) + 1
+		hi := int(echoEnd * fs)
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(sum) {
+			hi = len(sum)
+		}
+		if lo >= hi {
+			return nil, fmt.Errorf("core: empty echo window [%d, %d)", lo, hi)
+		}
+		// Noise-floor-gated squared-envelope centroid: samples below the
+		// window's 10% level contribute nothing, so reverb tails do not
+		// drag the estimate late.
+		var windowMax float64
+		for t := lo; t < hi; t++ {
+			if sum[t] > windowMax {
+				windowMax = sum[t]
+			}
+		}
+		if windowMax <= 0 {
+			return nil, fmt.Errorf("core: silent echo window: user out of range or too weak")
+		}
+		floor := 0.1 * windowMax
+		var wSum, tSum float64
+		for t := lo; t < hi; t++ {
+			if w := sum[t] - floor; w > 0 {
+				wSum += w
+				tSum += w * float64(t)
+			}
+		}
+		if wSum <= 0 {
+			return nil, fmt.Errorf("core: no echo energy above floor: user out of range or too weak")
+		}
+		echoSec = tSum / wSum / fs
+	}
+	roundTrip := echoSec - emissionSec
+	slant := roundTrip * array.SpeedOfSound / 2
+	var user float64
+	if cfg.EchoPick == EchoPickLeadingEdge {
+		// The leading edge tracks the nearest body surface, which for a
+		// standing user sits near the array's horizontal plane: no
+		// elevation correction, but an anatomical surface-to-torso offset.
+		user = slant + cfg.NearestSurfaceOffsetM
+	} else {
+		// The paper's geometry (Figure 4): D_p = D_f·sinφ·sinθ.
+		user = slant * math.Sin(dir.Elevation) * math.Sin(dir.Azimuth)
+	}
+	return &DistanceEstimate{
+		SlantM:        slant,
+		UserM:         user,
+		EmissionSec:   emissionSec,
+		DirectPeakSec: directSec,
+		EchoPeakSec:   echoSec,
+		Envelope:      sum,
+		Peaks:         peaks,
+	}, nil
+}
+
+// EstimateWithoutBeamforming is the ablation baseline: matched filtering on
+// a single raw microphone, as in conventional single-channel ranging
+// (§V-B's "straightforward way").
+func (e *DistanceEstimator) EstimateWithoutBeamforming(cap *Capture, noiseOnly [][]float64) (*DistanceEstimate, error) {
+	p, err := preprocess(e.cfg, cap, noiseOnly)
+	if err != nil {
+		return nil, err
+	}
+	return e.estimate(cap.SampleRate, p, false)
+}
+
+// envelopeNoiseFloor estimates the squared-envelope noise level from the
+// pre-beep samples (everything 1 ms before the direct-path peak).
+func envelopeNoiseFloor(sum []float64, directIdx int, fs float64) float64 {
+	end := directIdx - int(0.001*fs)
+	if end < 8 {
+		return 0
+	}
+	// Mean of the quiet region; robust enough since no signal precedes
+	// the beep.
+	var s float64
+	for _, v := range sum[:end] {
+		s += v
+	}
+	return s / float64(end)
+}
+
+func minMax(x []float64) (min, max float64) {
+	if len(x) == 0 {
+		return 0, 0
+	}
+	min, max = x[0], x[0]
+	for _, v := range x[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"echoimage/internal/aimage"
+	"echoimage/internal/array"
+	"echoimage/internal/beamform"
+)
+
+// AcousticImage couples the pixel grid with the imaging geometry it was
+// rendered at, which the inverse-square augmentation needs.
+type AcousticImage struct {
+	// Image is the full-band acoustic image (the paper's AI_l).
+	*aimage.Image
+	// Bands holds optional sub-band images (same grid, one per imaging
+	// sub-band). Scatterer interference is frequency-dependent, so the
+	// sub-band stack carries user-specific spectral structure the
+	// full-band energy image averages away.
+	Bands []*aimage.Image
+	// PlaneDistM is D_p, the imaging plane's distance from the array.
+	PlaneDistM float64
+	// GridSpacingM is the grid edge length.
+	GridSpacingM float64
+	// PlaneCenterZM is the plane's vertical center.
+	PlaneCenterZM float64
+}
+
+// GridCenter returns the plane coordinates {x_k, D_p, z_k} of the grid at
+// image row r, column c. Row 0 is the top of the image (largest z).
+func (ai *AcousticImage) GridCenter(r, c int) array.Vec3 {
+	x := (float64(c) - float64(ai.Cols-1)/2) * ai.GridSpacingM
+	z := (float64(ai.Rows-1)/2-float64(r))*ai.GridSpacingM + ai.PlaneCenterZM
+	return array.Vec3{X: x, Y: ai.PlaneDistM, Z: z}
+}
+
+// Imager implements §V-C: build a virtual imaging plane at the estimated
+// user distance, MVDR-steer the array to each grid, and set each pixel to
+// the L2 norm of the beamformed segment around the grid's expected
+// round-trip delay.
+type Imager struct {
+	cfg Config
+	arr *array.Array
+}
+
+// NewImager builds the image construction component.
+func NewImager(cfg Config, arr *array.Array) (*Imager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if arr == nil {
+		return nil, fmt.Errorf("core: nil array")
+	}
+	return &Imager{cfg: cfg, arr: arr}, nil
+}
+
+// ConstructAll images every beep of a capture at plane distance planeDist
+// (normally the ranging output D_p). emissionSec is the beep emission time
+// within each window (from DistanceEstimate.EmissionSec); pass 0 when the
+// capture windows start exactly at emission. noiseOnly may be nil.
+//
+// With Config.ImagingSubBands > 1 each returned image additionally carries
+// per-sub-band images (frequency-diverse imaging).
+func (im *Imager) ConstructAll(cap *Capture, planeDist, emissionSec float64, noiseOnly [][]float64) ([]*AcousticImage, error) {
+	if planeDist <= 0 {
+		return nil, fmt.Errorf("core: plane distance %g <= 0", planeDist)
+	}
+	out, err := im.constructBand(cap, im.cfg, planeDist, emissionSec, noiseOnly, nil)
+	if err != nil {
+		return nil, err
+	}
+	n := im.cfg.ImagingSubBands
+	if n <= 1 {
+		return out, nil
+	}
+	width := (im.cfg.BandHighHz - im.cfg.BandLowHz) / float64(n)
+	for b := 0; b < n; b++ {
+		sub := im.cfg
+		sub.BandLowHz = im.cfg.BandLowHz + float64(b)*width
+		sub.BandHighHz = sub.BandLowHz + width
+		// Narrow sub-bands need a gentler filter to stay numerically
+		// stable.
+		if sub.FilterOrder > 2 {
+			sub.FilterOrder = 2
+		}
+		if _, err := im.constructBand(cap, sub, planeDist, emissionSec, noiseOnly, out); err != nil {
+			return nil, fmt.Errorf("core: sub-band %d: %w", b, err)
+		}
+	}
+	return out, nil
+}
+
+// constructBand images every beep within one frequency band. When attach is
+// nil a fresh image slice is returned; otherwise the band images are
+// appended to attach[l].Bands.
+func (im *Imager) constructBand(cap *Capture, cfg Config, planeDist, emissionSec float64, noiseOnly [][]float64, attach []*AcousticImage) ([]*AcousticImage, error) {
+	p, err := preprocess(cfg, cap, noiseOnly)
+	if err != nil {
+		return nil, err
+	}
+	bf, err := beamform.New(im.arr, p.noiseCov, cfg.CenterFreqHz())
+	if err != nil {
+		return nil, err
+	}
+	if attach != nil {
+		for l, chans := range p.analytic {
+			img, err := im.constructOne(cfg, cap.SampleRate, bf, chans, planeDist, emissionSec, p.refRMS, p.noisePower)
+			if err != nil {
+				return nil, fmt.Errorf("core: image for beep %d: %w", l, err)
+			}
+			attach[l].Bands = append(attach[l].Bands, img.Image)
+		}
+		return attach, nil
+	}
+	out := make([]*AcousticImage, len(p.analytic))
+	for l, chans := range p.analytic {
+		img, err := im.constructOne(cfg, cap.SampleRate, bf, chans, planeDist, emissionSec, p.refRMS, p.noisePower)
+		if err != nil {
+			return nil, fmt.Errorf("core: image for beep %d: %w", l, err)
+		}
+		out[l] = img
+	}
+	return out, nil
+}
+
+// directPathReference measures the RMS of the analytic channels over the
+// direct-path chirp period. Dividing pixel values by it calibrates images
+// against speaker volume and microphone gain while preserving the user's
+// absolute echo strength — a discriminative, session-stable trait (body
+// size and clothing reflectivity).
+func directPathReference(fs float64, cfg Config, chans [][]complex128, emissionSec float64) float64 {
+	lo := int((emissionSec + cfg.SpeakerMicDistM/array.SpeedOfSound) * fs)
+	hi := lo + int(cfg.Chirp.Duration*fs)
+	n := len(chans[0])
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if lo >= hi {
+		return 0
+	}
+	var energy float64
+	for _, ch := range chans {
+		for t := lo; t < hi; t++ {
+			re, imv := real(ch[t]), imag(ch[t])
+			energy += re*re + imv*imv
+		}
+	}
+	return math.Sqrt(energy / float64(len(chans)*(hi-lo)))
+}
+
+// constructOne renders one beep's acoustic image. Grid rows are distributed
+// over a worker pool; each worker steers and integrates its rows
+// independently.
+func (im *Imager) constructOne(cfg Config, fs float64, bf *beamform.Beamformer, chans [][]complex128, planeDist, emissionSec, refRMS, noisePower float64) (*AcousticImage, error) {
+	ai := &AcousticImage{
+		Image:         aimage.New(cfg.GridRows, cfg.GridCols),
+		PlaneDistM:    planeDist,
+		GridSpacingM:  cfg.GridSpacingM,
+		PlaneCenterZM: cfg.PlaneCenterZM,
+	}
+	samples := len(chans[0])
+	guard := int(cfg.SegmentGuardSec * fs)
+	if guard < 1 {
+		guard = 1
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.GridRows {
+		workers = cfg.GridRows
+	}
+
+	rowCh := make(chan int)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range rowCh {
+				if err := im.renderRow(fs, bf, chans, ai, r, guard, emissionSec, samples, noisePower); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < cfg.GridRows; r++ {
+		rowCh <- r
+	}
+	close(rowCh)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	ref := refRMS
+	if ref <= 0 {
+		ref = directPathReference(fs, cfg, chans, emissionSec)
+	}
+	if ref > 0 {
+		inv := 1 / ref
+		for i := range ai.Pix {
+			ai.Pix[i] *= inv
+		}
+	}
+	return ai, nil
+}
+
+// renderRow computes all pixels of image row r.
+func (im *Imager) renderRow(fs float64, bf *beamform.Beamformer, chans [][]complex128, ai *AcousticImage, r, guard int, emissionSec float64, samples int, noisePower float64) error {
+	for c := 0; c < ai.Cols; c++ {
+		center := ai.GridCenter(r, c)
+		dk := center.Norm()
+		// Ω_k = {θ_k, φ_k} from Eq. 11–12: arccos(x/√(x²+D_p²)) and
+		// arccos(z/D_k). DirectionTo produces the identical angles via
+		// atan2/acos.
+		dir := array.DirectionTo(center)
+
+		w, err := bf.WeightsFor(dir)
+		if err != nil {
+			return err
+		}
+		// Segment around the expected round trip 2·D_k/c (±d′).
+		centerIdx := int((emissionSec + 2*dk/array.SpeedOfSound) * fs)
+		lo := centerIdx - guard
+		hi := centerIdx + guard
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > samples {
+			hi = samples
+		}
+		var energy float64
+		if lo < hi {
+			for t := lo; t < hi; t++ {
+				var s complex128
+				for m := range chans {
+					// wᴴ·x(t) accumulated without allocating.
+					s += conj(w[m]) * chans[m][t]
+				}
+				energy += real(s)*real(s) + imag(s)*imag(s)
+			}
+			// Noise-floor subtraction: remove the expected beamformed
+			// noise energy (spatially white noise passes with gain ‖w‖²)
+			// so interference raises pixel variance, not pixel bias.
+			var w2 float64
+			for _, wm := range w {
+				w2 += real(wm)*real(wm) + imag(wm)*imag(wm)
+			}
+			energy -= noisePower * w2 * float64(hi-lo)
+			if energy < 0 {
+				energy = 0
+			}
+		}
+		ai.Set(r, c, math.Sqrt(energy))
+	}
+	return nil
+}
+
+func conj(v complex128) complex128 { return complex(real(v), -imag(v)) }

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"echoimage/internal/features"
+	"echoimage/internal/svm"
+)
+
+// modelFormatVersion guards against loading models from incompatible
+// builds.
+const modelFormatVersion = 1
+
+// authenticatorState is the on-disk form of a trained Authenticator.
+type authenticatorState struct {
+	Version  int                  `json:"version"`
+	Features features.Config      `json:"features"`
+	BinWidth float64              `json:"bin_width_m"`
+	Users    []int                `json:"users"`
+	Bins     map[string]*binState `json:"bins"`
+}
+
+type binState struct {
+	Users    []int                     `json:"users"`
+	Gate     *svm.SVDDState            `json:"gate"`
+	UserGate map[string]*svm.SVDDState `json:"user_gates,omitempty"`
+	Identify *svm.MultiClassState      `json:"identify,omitempty"`
+	Whiten   *whitenerState            `json:"whiten,omitempty"`
+}
+
+type whitenerState struct {
+	Dirs  [][]float64 `json:"dirs"`
+	Scale []float64   `json:"scale"`
+	Dim   int         `json:"dim"`
+}
+
+// Save serializes the trained authenticator as JSON, so a daemon can
+// persist its model across restarts without re-enrolling users.
+func (a *Authenticator) Save(w io.Writer) error {
+	state := authenticatorState{
+		Version:  modelFormatVersion,
+		Features: a.featCfg,
+		BinWidth: a.binWidth,
+		Users:    a.Users(),
+		Bins:     make(map[string]*binState, len(a.bins)),
+	}
+	for bin, bm := range a.bins {
+		bs := &binState{Users: bm.users}
+		gate, err := bm.gate.Export()
+		if err != nil {
+			return fmt.Errorf("core: export gate (bin %d): %w", bin, err)
+		}
+		bs.Gate = gate
+		if len(bm.userGate) > 0 {
+			bs.UserGate = make(map[string]*svm.SVDDState, len(bm.userGate))
+			for id, ug := range bm.userGate {
+				st, err := ug.Export()
+				if err != nil {
+					return fmt.Errorf("core: export user %d gate (bin %d): %w", id, bin, err)
+				}
+				bs.UserGate[fmt.Sprint(id)] = st
+			}
+		}
+		if bm.identify != nil {
+			mc, err := bm.identify.Export()
+			if err != nil {
+				return fmt.Errorf("core: export identifier (bin %d): %w", bin, err)
+			}
+			bs.Identify = mc
+		}
+		if bm.whiten != nil {
+			bs.Whiten = exportWhitener(bm.whiten)
+		}
+		state.Bins[fmt.Sprint(bin)] = bs
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&state); err != nil {
+		return fmt.Errorf("core: encode model: %w", err)
+	}
+	return nil
+}
+
+// LoadAuthenticator restores a model saved with Save.
+func LoadAuthenticator(r io.Reader) (*Authenticator, error) {
+	var state authenticatorState
+	if err := json.NewDecoder(r).Decode(&state); err != nil {
+		return nil, fmt.Errorf("core: decode model: %w", err)
+	}
+	if state.Version != modelFormatVersion {
+		return nil, fmt.Errorf("core: model format version %d, want %d", state.Version, modelFormatVersion)
+	}
+	ext, err := features.NewExtractor(state.Features)
+	if err != nil {
+		return nil, fmt.Errorf("core: rebuild extractor: %w", err)
+	}
+	auth := &Authenticator{
+		extractor: ext,
+		featCfg:   state.Features,
+		bins:      make(map[int]*binModel, len(state.Bins)),
+		binWidth:  state.BinWidth,
+		users:     state.Users,
+	}
+	for key, bs := range state.Bins {
+		var bin int
+		if _, err := fmt.Sscanf(key, "%d", &bin); err != nil {
+			return nil, fmt.Errorf("core: bad bin key %q", key)
+		}
+		bm := &binModel{users: bs.Users}
+		gate, err := svm.RestoreSVDD(bs.Gate)
+		if err != nil {
+			return nil, fmt.Errorf("core: restore gate (bin %d): %w", bin, err)
+		}
+		bm.gate = gate
+		if len(bs.UserGate) > 0 {
+			bm.userGate = make(map[int]*svm.SVDD, len(bs.UserGate))
+			for idKey, st := range bs.UserGate {
+				var id int
+				if _, err := fmt.Sscanf(idKey, "%d", &id); err != nil {
+					return nil, fmt.Errorf("core: bad user key %q", idKey)
+				}
+				ug, err := svm.RestoreSVDD(st)
+				if err != nil {
+					return nil, fmt.Errorf("core: restore user %d gate (bin %d): %w", id, bin, err)
+				}
+				bm.userGate[id] = ug
+			}
+		}
+		if bs.Identify != nil {
+			mc, err := svm.RestoreMultiClass(bs.Identify)
+			if err != nil {
+				return nil, fmt.Errorf("core: restore identifier (bin %d): %w", bin, err)
+			}
+			bm.identify = mc
+		}
+		if bs.Whiten != nil {
+			bm.whiten = restoreWhitener(bs.Whiten)
+		}
+		auth.bins[bin] = bm
+	}
+	return auth, nil
+}
+
+func exportWhitener(w *Whitener) *whitenerState {
+	return &whitenerState{Dirs: w.dirs, Scale: w.scale, Dim: w.dim}
+}
+
+func restoreWhitener(s *whitenerState) *Whitener {
+	return &Whitener{dirs: s.Dirs, scale: s.Scale, dim: s.Dim}
+}

@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"echoimage/internal/core"
+	"echoimage/internal/dataset"
+)
+
+// TestModelSaveLoadRoundTrip trains a two-user model, serializes it, loads
+// it back, and checks decisions are identical.
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	sys := smallSystem(t)
+	enrollment := make(map[int][]*core.AcousticImage)
+	for _, id := range []int{1, 2} {
+		spec := quickSpec(id, 1, 8, int64(100*id))
+		spec.Placements = 2
+		imgs, err := dataset.CollectImages(sys, spec, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enrollment[id] = imgs
+	}
+	auth, err := core.TrainAuthenticator(core.DefaultAuthConfig(), enrollment)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := auth.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.LoadAuthenticator(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := loaded.Users(), auth.Users(); len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("loaded users %v, want %v", got, want)
+	}
+	if got, want := loaded.Bins(), auth.Bins(); len(got) != len(want) {
+		t.Fatalf("loaded bins %v, want %v", got, want)
+	}
+
+	// Decisions must be byte-identical on fresh probes.
+	for _, id := range []int{1, 2, 15} {
+		spec := quickSpec(id, 3, 3, int64(7000+id))
+		imgs, err := dataset.CollectImages(sys, spec, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, img := range imgs {
+			a := auth.Authenticate(img)
+			b := loaded.Authenticate(img)
+			if a != b {
+				t.Fatalf("user %d image %d: original %+v, loaded %+v", id, i, a, b)
+			}
+		}
+	}
+}
+
+func TestLoadAuthenticatorRejectsGarbage(t *testing.T) {
+	if _, err := core.LoadAuthenticator(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := core.LoadAuthenticator(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("future version accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"echoimage/internal/array"
+)
+
+// System bundles the sensing pipeline front end: ranging plus imaging with
+// a shared configuration and array geometry.
+type System struct {
+	cfg    Config
+	arr    *array.Array
+	ranger *DistanceEstimator
+	imager *Imager
+}
+
+// NewSystem builds the pipeline for an array geometry.
+func NewSystem(cfg Config, arr *array.Array) (*System, error) {
+	ranger, err := NewDistanceEstimator(cfg, arr)
+	if err != nil {
+		return nil, err
+	}
+	imager, err := NewImager(cfg, arr)
+	if err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg, arr: arr, ranger: ranger, imager: imager}, nil
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Array returns the microphone geometry.
+func (s *System) Array() *array.Array { return s.arr }
+
+// Ranger returns the distance estimation component.
+func (s *System) Ranger() *DistanceEstimator { return s.ranger }
+
+// Imager returns the image construction component.
+func (s *System) Imager() *Imager { return s.imager }
+
+// ProcessResult is the sensing front end's output for one capture.
+type ProcessResult struct {
+	Distance *DistanceEstimate
+	// Images holds one acoustic image per beep (AI_l).
+	Images []*AcousticImage
+}
+
+// Process runs ranging followed by imaging on a capture. noiseOnly may be
+// nil (noise statistics fall back to the window tails). The imaging plane
+// distance is the (optionally quantized) ranging estimate.
+func (s *System) Process(cap *Capture, noiseOnly [][]float64) (*ProcessResult, error) {
+	dist, err := s.ranger.Estimate(cap, noiseOnly)
+	if err != nil {
+		return nil, fmt.Errorf("core: distance estimation: %w", err)
+	}
+	plane := dist.UserM
+	if q := s.cfg.PlaneQuantizeM; q > 0 {
+		plane = float64(int(plane/q+0.5)) * q
+		if plane < q {
+			plane = q
+		}
+	}
+	imgs, err := s.imager.ConstructAll(cap, plane, dist.EmissionSec, noiseOnly)
+	if err != nil {
+		return nil, fmt.Errorf("core: image construction: %w", err)
+	}
+	return &ProcessResult{Distance: dist, Images: imgs}, nil
+}
+
+// ProcessAtDistance skips ranging and images directly at a known plane
+// distance, with emission assumed at the window start offset emissionSec.
+func (s *System) ProcessAtDistance(cap *Capture, planeDist, emissionSec float64, noiseOnly [][]float64) (*ProcessResult, error) {
+	imgs, err := s.imager.ConstructAll(cap, planeDist, emissionSec, noiseOnly)
+	if err != nil {
+		return nil, fmt.Errorf("core: image construction: %w", err)
+	}
+	return &ProcessResult{Images: imgs}, nil
+}

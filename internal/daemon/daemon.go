@@ -1,0 +1,261 @@
+// Package daemon implements the EchoImage authentication service: it owns
+// the sensing pipeline and the trained classifier stack, accumulates
+// enrollment, and answers enroll/authenticate/status requests over the
+// length-prefixed JSON protocol of internal/proto.
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"echoimage/internal/core"
+	"echoimage/internal/proto"
+)
+
+// Server is the daemon state. Construct with New; methods are safe for
+// concurrent connections.
+type Server struct {
+	sys     *core.System
+	authCfg core.AuthConfig
+	logf    func(format string, args ...any)
+	// ModelPath, when set, receives a serialized copy of the model after
+	// every successful retrain.
+	ModelPath string
+
+	mu         sync.Mutex
+	enrollment map[int][]*core.AcousticImage
+	auth       *core.Authenticator
+	numImages  int
+}
+
+// New builds a server around a sensing pipeline. logf may be nil to
+// silence logging.
+func New(sys *core.System, authCfg core.AuthConfig, logf func(string, ...any)) *Server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{
+		sys:        sys,
+		authCfg:    authCfg,
+		logf:       logf,
+		enrollment: make(map[int][]*core.AcousticImage),
+	}
+}
+
+// Serve accepts connections until the context is cancelled or the listener
+// fails. It closes the listener on cancellation and waits for in-flight
+// connections before returning.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			ln.Close()
+		case <-done:
+		}
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			wg.Wait()
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("daemon: accept: %w", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// ServeConn handles one connection's request loop.
+func (s *Server) ServeConn(conn io.ReadWriter) {
+	pc := proto.NewConn(conn)
+	for {
+		env, err := pc.Receive()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.logf("daemon: receive: %v", err)
+			}
+			return
+		}
+		if err := s.handle(pc, env); err != nil {
+			s.logf("daemon: %v", err)
+			if sendErr := pc.Send(proto.TypeError, proto.ErrorResponse{Message: err.Error()}); sendErr != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) handle(pc *proto.Conn, env *proto.Envelope) error {
+	switch env.Type {
+	case proto.TypeEnrollRequest:
+		var req proto.EnrollRequest
+		if err := proto.DecodeBody(env, &req); err != nil {
+			return err
+		}
+		resp, err := s.Enroll(&req)
+		if err != nil {
+			return err
+		}
+		return pc.Send(proto.TypeEnrollResponse, resp)
+	case proto.TypeAuthRequest:
+		var req proto.AuthRequest
+		if err := proto.DecodeBody(env, &req); err != nil {
+			return err
+		}
+		resp, err := s.Authenticate(&req)
+		if err != nil {
+			return err
+		}
+		return pc.Send(proto.TypeAuthResponse, resp)
+	case proto.TypeStatusRequest:
+		return pc.Send(proto.TypeStatusResponse, s.Status())
+	default:
+		return fmt.Errorf("unknown message type %q", env.Type)
+	}
+}
+
+func (s *Server) process(wire *proto.CaptureWire) (*core.ProcessResult, error) {
+	cap := &core.Capture{Beeps: wire.Beeps, SampleRate: wire.SampleRate, Reference: wire.Reference}
+	res, err := s.sys.Process(cap, wire.NoiseOnly)
+	if err != nil {
+		return nil, fmt.Errorf("process capture: %w", err)
+	}
+	return res, nil
+}
+
+// Enroll adds a capture to a user's enrollment pool, optionally retraining.
+func (s *Server) Enroll(req *proto.EnrollRequest) (*proto.EnrollResponse, error) {
+	if req.UserID <= 0 {
+		return nil, fmt.Errorf("user ID %d must be positive", req.UserID)
+	}
+	res, err := s.process(&req.Capture)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enrollment[req.UserID] = append(s.enrollment[req.UserID], res.Images...)
+	s.numImages += len(res.Images)
+	trained := false
+	if req.Retrain {
+		auth, err := core.TrainAuthenticator(s.authCfg, s.enrollment)
+		if err != nil {
+			return nil, fmt.Errorf("retrain: %w", err)
+		}
+		s.auth = auth
+		trained = true
+		if s.ModelPath != "" {
+			if err := s.persistLocked(); err != nil {
+				s.logf("daemon: persist model: %v", err)
+			}
+		}
+	}
+	return &proto.EnrollResponse{
+		UserID:      req.UserID,
+		Images:      len(res.Images),
+		DistanceM:   res.Distance.UserM,
+		Trained:     trained,
+		TotalUsers:  len(s.enrollment),
+		TotalImages: s.numImages,
+	}, nil
+}
+
+// Authenticate runs a capture through the trained model.
+func (s *Server) Authenticate(req *proto.AuthRequest) (*proto.AuthResponse, error) {
+	s.mu.Lock()
+	auth := s.auth
+	s.mu.Unlock()
+	if auth == nil {
+		return nil, fmt.Errorf("no trained model: enroll users with retrain=true first")
+	}
+	res, err := s.process(&req.Capture)
+	if err != nil {
+		return nil, err
+	}
+	decision, err := auth.AuthenticateMajority(res.Images)
+	if err != nil {
+		return nil, fmt.Errorf("authenticate: %w", err)
+	}
+	return &proto.AuthResponse{
+		Accepted:  decision.Accepted,
+		UserID:    decision.UserID,
+		GateScore: decision.GateScore,
+		DistanceM: res.Distance.UserM,
+		Images:    len(res.Images),
+	}, nil
+}
+
+// persistLocked writes the current model to ModelPath; the caller holds
+// s.mu.
+func (s *Server) persistLocked() error {
+	f, err := os.CreateTemp(filepath.Dir(s.ModelPath), ".model-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := s.auth.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, s.ModelPath)
+}
+
+// SaveModel serializes the trained model, or reports an error when no
+// model has been trained yet.
+func (s *Server) SaveModel(w io.Writer) error {
+	s.mu.Lock()
+	auth := s.auth
+	s.mu.Unlock()
+	if auth == nil {
+		return fmt.Errorf("daemon: no trained model to save")
+	}
+	return auth.Save(w)
+}
+
+// LoadModel installs a previously saved model. Enrollment pools are not
+// part of the model; subsequent retrains need fresh enrollment captures.
+func (s *Server) LoadModel(r io.Reader) error {
+	auth, err := core.LoadAuthenticator(r)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.auth = auth
+	s.mu.Unlock()
+	return nil
+}
+
+// Status reports the daemon state.
+func (s *Server) Status() proto.StatusResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	users := make([]int, 0, len(s.enrollment))
+	for id := range s.enrollment {
+		users = append(users, id)
+	}
+	return proto.StatusResponse{
+		Users:       users,
+		Trained:     s.auth != nil,
+		TotalImages: s.numImages,
+	}
+}

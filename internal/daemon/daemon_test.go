@@ -1,0 +1,218 @@
+package daemon
+
+import (
+	"context"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"echoimage/internal/array"
+	"echoimage/internal/body"
+	"echoimage/internal/core"
+	"echoimage/internal/dataset"
+	"echoimage/internal/proto"
+	"echoimage/internal/sim"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.GridRows, cfg.GridCols = 24, 24
+	cfg.GridSpacingM = 0.08
+	sys, err := core.NewSystem(cfg, array.ReSpeaker())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(sys, core.DefaultAuthConfig(), t.Logf)
+}
+
+func wireCapture(t *testing.T, userID, session, beeps int, seed int64) proto.CaptureWire {
+	t.Helper()
+	spec := dataset.SessionSpec{
+		Profile:   body.Roster()[userID-1],
+		Env:       sim.EnvLab,
+		Noise:     sim.NoiseQuiet,
+		DistanceM: 0.7,
+		Session:   session,
+		Beeps:     beeps,
+		Seed:      seed,
+	}
+	cap, noiseOnly, err := dataset.Collect(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proto.CaptureWire{
+		Beeps:      cap.Beeps,
+		SampleRate: cap.SampleRate,
+		NoiseOnly:  noiseOnly,
+		Reference:  cap.Reference,
+	}
+}
+
+func TestEnrollAuthenticateDirect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	srv := testServer(t)
+
+	// Authentication before any training must fail cleanly.
+	if _, err := srv.Authenticate(&proto.AuthRequest{Capture: wireCapture(t, 1, 3, 2, 9)}); err == nil {
+		t.Error("untrained daemon authenticated")
+	}
+
+	for p := 0; p < 3; p++ {
+		resp, err := srv.Enroll(&proto.EnrollRequest{
+			UserID:  1,
+			Capture: wireCapture(t, 1, 1, 5, int64(p)),
+			Retrain: p == 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Images != 5 {
+			t.Errorf("placement %d produced %d images", p, resp.Images)
+		}
+		if (p == 2) != resp.Trained {
+			t.Errorf("placement %d trained=%v", p, resp.Trained)
+		}
+	}
+	status := srv.Status()
+	if !status.Trained || status.TotalImages != 15 || len(status.Users) != 1 {
+		t.Errorf("status %+v", status)
+	}
+
+	resp, err := srv.Authenticate(&proto.AuthRequest{Capture: wireCapture(t, 1, 3, 4, 42)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("legit: accepted=%v id=%d score=%.3f dist=%.2f", resp.Accepted, resp.UserID, resp.GateScore, resp.DistanceM)
+	if resp.Accepted && resp.UserID != 1 {
+		t.Errorf("accepted as wrong user %d", resp.UserID)
+	}
+}
+
+func TestEnrollValidation(t *testing.T) {
+	srv := testServer(t)
+	if _, err := srv.Enroll(&proto.EnrollRequest{UserID: 0}); err == nil {
+		t.Error("user 0 accepted")
+	}
+}
+
+func TestServeOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	srv := testServer(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ctx, ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := proto.NewConn(conn)
+
+	// Enroll with retrain over the wire.
+	if err := pc.Send(proto.TypeEnrollRequest, proto.EnrollRequest{
+		UserID:  2,
+		Capture: wireCapture(t, 2, 1, 6, 1),
+		Retrain: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := pc.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != proto.TypeEnrollResponse {
+		t.Fatalf("response type %q", env.Type)
+	}
+
+	// Status round trip.
+	if err := pc.Send(proto.TypeStatusRequest, nil); err != nil {
+		t.Fatal(err)
+	}
+	env, err = pc.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status proto.StatusResponse
+	if err := proto.DecodeBody(env, &status); err != nil {
+		t.Fatal(err)
+	}
+	if !status.Trained {
+		t.Error("daemon not trained after retrain request")
+	}
+
+	// A malformed request yields a protocol error, not a dropped
+	// connection.
+	if err := pc.Send(proto.MsgType("bogus"), nil); err != nil {
+		t.Fatal(err)
+	}
+	env, err = pc.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != proto.TypeError {
+		t.Errorf("bogus request answered with %q", env.Type)
+	}
+
+	conn.Close()
+	cancel()
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("Serve did not stop after cancellation")
+	}
+}
+
+// TestModelPersistenceAcrossRestart enrolls and retrains with a model
+// path, then boots a fresh server from the written file and authenticates
+// without re-enrolling.
+func TestModelPersistenceAcrossRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	dir := t.TempDir()
+	modelPath := dir + "/model.json"
+
+	srv := testServer(t)
+	srv.ModelPath = modelPath
+	if _, err := srv.Enroll(&proto.EnrollRequest{
+		UserID:  1,
+		Capture: wireCapture(t, 1, 1, 8, 1),
+		Retrain: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(modelPath)
+	if err != nil {
+		t.Fatalf("model not persisted: %v", err)
+	}
+	defer f.Close()
+	fresh := testServer(t)
+	if err := fresh.LoadModel(f); err != nil {
+		t.Fatal(err)
+	}
+	if !fresh.Status().Trained {
+		t.Fatal("restored server not trained")
+	}
+	resp, err := fresh.Authenticate(&proto.AuthRequest{Capture: wireCapture(t, 1, 3, 4, 9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("restored-model decision: accepted=%v id=%d score=%.3f", resp.Accepted, resp.UserID, resp.GateScore)
+	if resp.Accepted && resp.UserID != 1 {
+		t.Errorf("restored model misidentified user as %d", resp.UserID)
+	}
+}

@@ -1,0 +1,112 @@
+package dsp
+
+import "math"
+
+// MatchedFilter correlates the received signal r against the template s by
+// convolving r with the conjugated, time-reversed template (Eq. 9 in the
+// paper). For real templates this equals the sliding cross-correlation
+//
+//	C[t] = sum_k r[t+k] * s[k]
+//
+// evaluated for t in [0, len(r)-1]; lags that would read past the end of r
+// use the available overlap only (zero padding). The output has the same
+// length as r so sample index t corresponds directly to the arrival time of
+// the template's leading edge.
+func MatchedFilter(r, s []float64) []float64 {
+	n, m := len(r), len(s)
+	if n == 0 || m == 0 {
+		return make([]float64, n)
+	}
+	full := CrossCorrelate(r, s)
+	// CrossCorrelate returns lags -(m-1) .. (n-1); we keep lags 0 .. n-1.
+	out := make([]float64, n)
+	copy(out, full[m-1:])
+	return out
+}
+
+// CrossCorrelate computes the full linear cross-correlation of r and s,
+//
+//	C[lag] = sum_k r[k+lag] * s[k],  lag = -(len(s)-1) .. len(r)-1,
+//
+// via FFT convolution. The returned slice has length len(r)+len(s)-1 with
+// index i corresponding to lag i-(len(s)-1).
+func CrossCorrelate(r, s []float64) []float64 {
+	n, m := len(r), len(s)
+	if n == 0 || m == 0 {
+		return nil
+	}
+	size := NextPow2(n + m - 1)
+	fr := make([]complex128, size)
+	fs := make([]complex128, size)
+	for i, v := range r {
+		fr[i] = complex(v, 0)
+	}
+	// Time-reverse s so convolution becomes correlation.
+	for i, v := range s {
+		fs[m-1-i] = complex(v, 0)
+	}
+	fftRadix2(fr, false)
+	fftRadix2(fs, false)
+	for i := range fr {
+		fr[i] *= fs[i]
+	}
+	fftRadix2(fr, true)
+	scale := 1 / float64(size)
+	out := make([]float64, n+m-1)
+	for i := range out {
+		out[i] = real(fr[i]) * scale
+	}
+	return out
+}
+
+// Convolve computes the full linear convolution of a and b via FFT. The
+// result has length len(a)+len(b)-1.
+func Convolve(a, b []float64) []float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return nil
+	}
+	size := NextPow2(n + m - 1)
+	fa := make([]complex128, size)
+	fb := make([]complex128, size)
+	for i, v := range a {
+		fa[i] = complex(v, 0)
+	}
+	for i, v := range b {
+		fb[i] = complex(v, 0)
+	}
+	fftRadix2(fa, false)
+	fftRadix2(fb, false)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	fftRadix2(fa, true)
+	scale := 1 / float64(size)
+	out := make([]float64, n+m-1)
+	for i := range out {
+		out[i] = real(fa[i]) * scale
+	}
+	return out
+}
+
+// Energy returns the sum of squared samples.
+func Energy(x []float64) float64 {
+	var e float64
+	for _, v := range x {
+		e += v * v
+	}
+	return e
+}
+
+// RMS returns the root-mean-square amplitude of x, or zero for an empty
+// slice.
+func RMS(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var e float64
+	for _, v := range x {
+		e += v * v
+	}
+	return math.Sqrt(e / float64(len(x)))
+}

@@ -1,0 +1,161 @@
+// Package dsp provides the signal-processing primitives EchoImage is built
+// on: FFTs, Butterworth bandpass filters, Hilbert transforms, matched
+// filtering, envelope detection and peak picking.
+//
+// Everything is implemented from scratch on top of the standard library so
+// the module has no external dependencies.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the in-place-free discrete Fourier transform of x and returns
+// a newly allocated slice. Power-of-two lengths use an iterative radix-2
+// Cooley-Tukey algorithm; other lengths fall back to Bluestein's algorithm.
+// The zero-length transform is the empty slice.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	switch {
+	case n == 0:
+		return nil
+	case n&(n-1) == 0:
+		out := make([]complex128, n)
+		copy(out, x)
+		fftRadix2(out, false)
+		return out
+	default:
+		return bluestein(x, false)
+	}
+}
+
+// IFFT computes the inverse discrete Fourier transform of x, including the
+// 1/N normalization, and returns a newly allocated slice.
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	switch {
+	case n == 0:
+		return nil
+	case n&(n-1) == 0:
+		out := make([]complex128, n)
+		copy(out, x)
+		fftRadix2(out, true)
+		scale := complex(1/float64(n), 0)
+		for i := range out {
+			out[i] *= scale
+		}
+		return out
+	default:
+		out := bluestein(x, true)
+		scale := complex(1/float64(n), 0)
+		for i := range out {
+			out[i] *= scale
+		}
+		return out
+	}
+}
+
+// FFTReal transforms a real-valued signal. It is a convenience wrapper that
+// widens to complex128 before calling FFT.
+func FFTReal(x []float64) []complex128 {
+	cx := make([]complex128, len(x))
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	return FFT(cx)
+}
+
+// fftRadix2 runs an iterative radix-2 DIT FFT in place. The length of x must
+// be a power of two. When inverse is true the conjugate transform is
+// computed (without the 1/N scale).
+func fftRadix2(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Rect(1, step)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT via the chirp-z transform,
+// re-expressed as a power-of-two convolution.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// w[k] = exp(sign * i*pi*k^2/n). Use k^2 mod 2n to keep the argument
+	// bounded for large k.
+	w := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		w[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * w[k]
+		bk := cmplx.Conj(w[k])
+		b[k] = bk
+		if k > 0 {
+			b[m-k] = bk
+		}
+	}
+	fftRadix2(a, false)
+	fftRadix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	fftRadix2(a, true)
+	scale := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * scale * w[k]
+	}
+	return out
+}
+
+// NextPow2 returns the smallest power of two >= n. It panics for n < 0 and
+// returns 1 for n <= 1.
+func NextPow2(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("dsp: NextPow2 of negative length %d", n))
+	}
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}

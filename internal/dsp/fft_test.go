@@ -1,0 +1,165 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func complexSliceClose(t *testing.T, got, want []complex128, tol float64, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if cmplx.Abs(got[i]-want[i]) > tol {
+			t.Fatalf("%s: index %d: got %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// dftNaive is the O(n²) reference implementation.
+func dftNaive(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			s += x[t] * cmplx.Rect(1, -2*math.Pi*float64(k*t)/float64(n))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func randComplex(rng *rand.Rand, n int) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return out
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 3, 5, 7, 12, 100, 37} {
+		x := randComplex(rng, n)
+		complexSliceClose(t, FFT(x), dftNaive(x), 1e-8*float64(n), "FFT")
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 16, 128, 6, 25, 99} {
+		x := randComplex(rng, n)
+		back := IFFT(FFT(x))
+		complexSliceClose(t, back, x, 1e-9*float64(n+1), "IFFT∘FFT")
+	}
+}
+
+func TestFFTEmpty(t *testing.T) {
+	if got := FFT(nil); got != nil {
+		t.Errorf("FFT(nil) = %v, want nil", got)
+	}
+	if got := IFFT(nil); got != nil {
+		t.Errorf("IFFT(nil) = %v, want nil", got)
+	}
+}
+
+// TestFFTLinearity property-checks FFT(a·x + b·y) = a·FFT(x) + b·FFT(y).
+func TestFFTLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + r.Intn(6))
+		x := randComplex(r, n)
+		y := randComplex(r, n)
+		a := complex(r.NormFloat64(), r.NormFloat64())
+		b := complex(r.NormFloat64(), r.NormFloat64())
+		mix := make([]complex128, n)
+		for i := range mix {
+			mix[i] = a*x[i] + b*y[i]
+		}
+		fx, fy, fm := FFT(x), FFT(y), FFT(mix)
+		for i := range fm {
+			if cmplx.Abs(fm[i]-(a*fx[i]+b*fy[i])) > 1e-7*float64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFFTParseval property-checks energy conservation.
+func TestFFTParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{8, 64, 11, 50} {
+		x := randComplex(rng, n)
+		var timeE float64
+		for _, v := range x {
+			timeE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		var freqE float64
+		for _, v := range FFT(x) {
+			freqE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		freqE /= float64(n)
+		if math.Abs(timeE-freqE) > 1e-8*timeE {
+			t.Errorf("n=%d: Parseval violated: time %g vs freq %g", n, timeE, freqE)
+		}
+	}
+}
+
+func TestFFTKnownValues(t *testing.T) {
+	// DFT of a unit impulse is all ones.
+	x := []complex128{1, 0, 0, 0}
+	for i, v := range FFT(x) {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("impulse bin %d = %v, want 1", i, v)
+		}
+	}
+	// DFT of a constant is an impulse at DC.
+	c := []complex128{2, 2, 2, 2}
+	spec := FFT(c)
+	if cmplx.Abs(spec[0]-8) > 1e-12 {
+		t.Errorf("DC bin = %v, want 8", spec[0])
+	}
+	for i := 1; i < 4; i++ {
+		if cmplx.Abs(spec[i]) > 1e-12 {
+			t.Errorf("bin %d = %v, want 0", i, spec[i])
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1000: 1024, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestNextPow2PanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NextPow2(-1) did not panic")
+		}
+	}()
+	NextPow2(-1)
+}
+
+func TestFFTReal(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	cx := make([]complex128, 4)
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	complexSliceClose(t, FFTReal(x), FFT(cx), 1e-12, "FFTReal")
+}

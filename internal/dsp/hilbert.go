@@ -1,0 +1,93 @@
+package dsp
+
+import "math/cmplx"
+
+// AnalyticSignal computes the discrete analytic signal of x via the FFT
+// method: the negative-frequency half of the spectrum is zeroed and the
+// positive half doubled, so the real part of the result equals x and the
+// imaginary part is its Hilbert transform.
+func AnalyticSignal(x []float64) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	spec := FFTReal(x)
+	// Build the analytic spectrum multiplier.
+	half := n / 2
+	for k := 1; k < half; k++ {
+		spec[k] *= 2
+	}
+	if n%2 == 0 {
+		// Nyquist bin (k == half) stays as-is.
+		for k := half + 1; k < n; k++ {
+			spec[k] = 0
+		}
+	} else {
+		spec[half] *= 2
+		for k := half + 1; k < n; k++ {
+			spec[k] = 0
+		}
+	}
+	return IFFT(spec)
+}
+
+// Envelope returns the amplitude envelope |analytic(x)| of the real signal
+// x. This is the envelope-detection scheme EchoImage applies to matched
+// filter outputs before peak picking.
+func Envelope(x []float64) []float64 {
+	a := AnalyticSignal(x)
+	out := make([]float64, len(a))
+	for i, v := range a {
+		out[i] = cmplx.Abs(v)
+	}
+	return out
+}
+
+// EnvelopeSmoothed computes the Hilbert envelope and then smooths it with a
+// centered moving average of the given window length (in samples). Window
+// lengths <= 1 return the raw envelope.
+func EnvelopeSmoothed(x []float64, window int) []float64 {
+	env := Envelope(x)
+	if window <= 1 || len(env) == 0 {
+		return env
+	}
+	return MovingAverage(env, window)
+}
+
+// MovingAverage smooths x with a centered moving average of the given
+// window length using a running-sum implementation. Edges use the available
+// samples only, so the output length matches the input.
+func MovingAverage(x []float64, window int) []float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if window <= 1 {
+		out := make([]float64, n)
+		copy(out, x)
+		return out
+	}
+	if window > n {
+		window = n
+	}
+	halfL := (window - 1) / 2
+	halfR := window / 2
+	// Prefix sums for O(n) evaluation.
+	prefix := make([]float64, n+1)
+	for i, v := range x {
+		prefix[i+1] = prefix[i] + v
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := i - halfL
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + halfR + 1
+		if hi > n {
+			hi = n
+		}
+		out[i] = (prefix[hi] - prefix[lo]) / float64(hi-lo)
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// STFTConfig parameterizes a short-time Fourier transform.
+type STFTConfig struct {
+	// FrameSize is the analysis window length in samples (rounded up to a
+	// power of two for the transform).
+	FrameSize int
+	// HopSize is the frame advance in samples.
+	HopSize int
+	// Window generates the analysis taper; nil means Hann.
+	Window func(n int) []float64
+}
+
+// Validate checks the configuration.
+func (c STFTConfig) Validate() error {
+	switch {
+	case c.FrameSize < 2:
+		return fmt.Errorf("dsp: STFT frame size %d < 2", c.FrameSize)
+	case c.HopSize < 1:
+		return fmt.Errorf("dsp: STFT hop size %d < 1", c.HopSize)
+	case c.HopSize > c.FrameSize:
+		return fmt.Errorf("dsp: STFT hop %d larger than frame %d", c.HopSize, c.FrameSize)
+	}
+	return nil
+}
+
+// Spectrogram is a time-frequency magnitude map: Mag[frame][bin], with
+// BinHz spacing between bins and HopSec between frames.
+type Spectrogram struct {
+	Mag    [][]float64
+	BinHz  float64
+	HopSec float64
+}
+
+// Frames returns the number of time frames.
+func (s *Spectrogram) Frames() int { return len(s.Mag) }
+
+// Bins returns the number of frequency bins per frame.
+func (s *Spectrogram) Bins() int {
+	if len(s.Mag) == 0 {
+		return 0
+	}
+	return len(s.Mag[0])
+}
+
+// STFT computes the magnitude spectrogram of x at sample rate fs.
+func STFT(x []float64, fs float64, cfg STFTConfig) (*Spectrogram, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if fs <= 0 {
+		return nil, fmt.Errorf("dsp: STFT sample rate %g <= 0", fs)
+	}
+	gen := cfg.Window
+	if gen == nil {
+		gen = Hann
+	}
+	win := gen(cfg.FrameSize)
+	size := NextPow2(cfg.FrameSize)
+	bins := size/2 + 1
+
+	out := &Spectrogram{
+		BinHz:  fs / float64(size),
+		HopSec: float64(cfg.HopSize) / fs,
+	}
+	frame := make([]complex128, size)
+	for start := 0; start+cfg.FrameSize <= len(x); start += cfg.HopSize {
+		for i := range frame {
+			frame[i] = 0
+		}
+		for i := 0; i < cfg.FrameSize; i++ {
+			frame[i] = complex(x[start+i]*win[i], 0)
+		}
+		spec := FFT(frame)
+		mags := make([]float64, bins)
+		for k := 0; k < bins; k++ {
+			re, im := real(spec[k]), imag(spec[k])
+			mags[k] = math.Sqrt(re*re + im*im)
+		}
+		out.Mag = append(out.Mag, mags)
+	}
+	if len(out.Mag) == 0 {
+		return nil, fmt.Errorf("dsp: signal of %d samples shorter than one %d-sample frame", len(x), cfg.FrameSize)
+	}
+	return out, nil
+}
+
+// BandEnergy integrates the spectrogram between loHz and hiHz per frame,
+// a cheap detector for chirp activity.
+func (s *Spectrogram) BandEnergy(loHz, hiHz float64) []float64 {
+	out := make([]float64, len(s.Mag))
+	for f, mags := range s.Mag {
+		var e float64
+		for k, m := range mags {
+			hz := float64(k) * s.BinHz
+			if hz >= loHz && hz <= hiHz {
+				e += m * m
+			}
+		}
+		out[f] = e
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSTFTLocalizesTone(t *testing.T) {
+	const fs = 48000.0
+	n := 9600
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 2500 * float64(i) / fs)
+	}
+	spec, err := STFT(x, fs, STFTConfig{FrameSize: 1024, HopSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Frames() < 10 {
+		t.Fatalf("only %d frames", spec.Frames())
+	}
+	// The strongest bin of every frame must sit at ~2500 Hz.
+	for f, mags := range spec.Mag {
+		best := ArgMax(mags)
+		hz := float64(best) * spec.BinHz
+		if math.Abs(hz-2500) > 2*spec.BinHz {
+			t.Fatalf("frame %d peaks at %g Hz", f, hz)
+		}
+	}
+}
+
+func TestSTFTBandEnergyTracksBurst(t *testing.T) {
+	const fs = 48000.0
+	n := 9600
+	x := make([]float64, n)
+	// In-band burst only in the middle fifth of the signal.
+	for i := 2 * n / 5; i < 3*n/5; i++ {
+		x[i] = math.Sin(2 * math.Pi * 2500 * float64(i) / fs)
+	}
+	spec, err := STFT(x, fs, STFTConfig{FrameSize: 512, HopSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	energy := BandEnergyOf(spec)
+	peak := ArgMax(energy)
+	frames := len(energy)
+	if peak < frames/3 || peak > 2*frames/3 {
+		t.Errorf("band energy peaks at frame %d of %d, want the middle", peak, frames)
+	}
+	if energy[0] > 0.01*energy[peak] {
+		t.Errorf("leading silence has energy %g vs peak %g", energy[0], energy[peak])
+	}
+}
+
+// BandEnergyOf wraps BandEnergy over the sensing band for tests.
+func BandEnergyOf(s *Spectrogram) []float64 { return s.BandEnergy(2000, 3000) }
+
+func TestSTFTValidation(t *testing.T) {
+	x := make([]float64, 100)
+	if _, err := STFT(x, 0, STFTConfig{FrameSize: 32, HopSize: 16}); err == nil {
+		t.Error("zero sample rate accepted")
+	}
+	if _, err := STFT(x, 48000, STFTConfig{FrameSize: 1, HopSize: 1}); err == nil {
+		t.Error("frame size 1 accepted")
+	}
+	if _, err := STFT(x, 48000, STFTConfig{FrameSize: 32, HopSize: 0}); err == nil {
+		t.Error("zero hop accepted")
+	}
+	if _, err := STFT(x, 48000, STFTConfig{FrameSize: 32, HopSize: 64}); err == nil {
+		t.Error("hop beyond frame accepted")
+	}
+	if _, err := STFT(x[:10], 48000, STFTConfig{FrameSize: 32, HopSize: 16}); err == nil {
+		t.Error("signal shorter than a frame accepted")
+	}
+}

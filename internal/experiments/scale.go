@@ -1,0 +1,124 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§VI): Table I (demographics), the two feasibility studies
+// (Fig. 5 distance estimation, Fig. 8 image discriminability), the overall
+// confusion matrix (Fig. 11), environment robustness (Fig. 12), the
+// distance sweep (Fig. 13) and the data-augmentation study (Fig. 14), plus
+// the ablations DESIGN.md calls out.
+//
+// Every runner takes a Scale so the same code serves quick CI runs and
+// paper-scale reproductions.
+package experiments
+
+import (
+	"fmt"
+
+	"echoimage/internal/array"
+	"echoimage/internal/core"
+)
+
+// Scale sets the knobs that trade fidelity for runtime.
+type Scale struct {
+	// Name labels the scale in reports.
+	Name string
+	// GridRows/GridCols/GridSpacingM size the imaging plane. The paper
+	// uses 180×180 grids of 1 cm; CI uses 36×36 of 5 cm (same 1.8 m
+	// plane, coarser sampling — the array's beamwidth limits resolution
+	// well above either spacing).
+	GridRows, GridCols int
+	GridSpacingM       float64
+	// TrainBeeps and TrainPlacements size each user's enrollment session
+	// (the paper collects 200 chirps in Session 1, which spans days 0–2).
+	TrainBeeps, TrainPlacements int
+	// TestBeepsS1 and TestBeepsS3 are per-user test chirps drawn from the
+	// remainder of Session 1 and from Session 3 (the paper tests on 300).
+	TestBeepsS1, TestBeepsS3 int
+	// Registered and Spoofers count the subjects in the overall
+	// evaluation (the paper registers 12 of 20 and uses 8 as spoofers).
+	Registered, Spoofers int
+	// EnvUsers is the subject count for the environment study (the paper
+	// uses 8).
+	EnvUsers int
+	// Distances is the Fig. 13 sweep (the paper: 0.6–1.5 m).
+	Distances []float64
+	// TrainSizes is the Fig. 14 sweep of training beep counts.
+	TrainSizes []int
+	// RangingBeeps is the beep count for the Fig. 5 feasibility study
+	// (the paper collects 20).
+	RangingBeeps int
+}
+
+// CI returns a scale that keeps the full suite within minutes.
+func CI() Scale {
+	return Scale{
+		Name:            "ci",
+		GridRows:        36,
+		GridCols:        36,
+		GridSpacingM:    0.05,
+		TrainBeeps:      24,
+		TrainPlacements: 4,
+		TestBeepsS1:     8,
+		TestBeepsS3:     6,
+		Registered:      12,
+		Spoofers:        8,
+		EnvUsers:        8,
+		Distances:       []float64{0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3, 1.4, 1.5},
+		TrainSizes:      []int{10, 25, 50, 100, 150, 200},
+		RangingBeeps:    20,
+	}
+}
+
+// Quick returns a minimal scale for unit tests.
+func Quick() Scale {
+	s := CI()
+	s.Name = "quick"
+	s.TrainBeeps = 12
+	s.TrainPlacements = 3
+	s.TestBeepsS1 = 4
+	s.TestBeepsS3 = 4
+	s.Registered = 4
+	s.Spoofers = 3
+	s.EnvUsers = 3
+	s.Distances = []float64{0.7, 1.1, 1.5}
+	s.TrainSizes = []int{8, 24}
+	s.RangingBeeps = 8
+	return s
+}
+
+// Paper returns the paper's own parameters. Expect a long runtime.
+func Paper() Scale {
+	return Scale{
+		Name:            "paper",
+		GridRows:        180,
+		GridCols:        180,
+		GridSpacingM:    0.01,
+		TrainBeeps:      200,
+		TrainPlacements: 8,
+		TestBeepsS1:     150,
+		TestBeepsS3:     150,
+		Registered:      12,
+		Spoofers:        8,
+		EnvUsers:        8,
+		Distances:       []float64{0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3, 1.4, 1.5},
+		TrainSizes:      []int{10, 25, 50, 100, 150, 200},
+		RangingBeeps:    20,
+	}
+}
+
+// PipelineConfig returns the sensing configuration at this scale.
+func (s Scale) PipelineConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.GridRows = s.GridRows
+	cfg.GridCols = s.GridCols
+	cfg.GridSpacingM = s.GridSpacingM
+	return cfg
+}
+
+// NewSystem builds the sensing pipeline at this scale on the ReSpeaker
+// geometry the paper prototypes with.
+func (s Scale) NewSystem() (*core.System, error) {
+	sys, err := core.NewSystem(s.PipelineConfig(), array.ReSpeaker())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: build system: %w", err)
+	}
+	return sys, nil
+}

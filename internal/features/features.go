@@ -1,0 +1,242 @@
+// Package features extracts fixed-length embeddings from acoustic images.
+//
+// The paper transfers a pre-trained VGGish CNN and uses its 5th pooling
+// layer (7×7×512 = 25088 features) as a frozen feature extractor. No
+// pre-trained weights exist in a stdlib-only Go environment, so this
+// package implements the closest behavioural equivalent: a frozen,
+// deterministically seeded random-convolution network ("VGGishLite") with
+// the same usage pattern — resize the image to the network input, run a
+// frozen conv/ReLU/max-pool stack, flatten the final 7×7×C pooling output.
+// Random convolutional features followed by an SVM are a well-studied
+// substitute for transfer learning when training data is scarce, which is
+// exactly the regime the paper targets.
+package features
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"echoimage/internal/aimage"
+)
+
+// Config sizes the frozen network.
+type Config struct {
+	// InputSize is the square input resolution; it must be divisible by
+	// 2^len(Channels) and reduce to 7 after the pooling stack for the
+	// paper's 7×7×C output shape.
+	InputSize int
+	// Channels lists the output channel count of each conv block; each
+	// block is conv3×3 → ReLU → maxpool2×2.
+	Channels []int
+	// Seed freezes the filter weights; equal seeds yield identical
+	// networks ("the pre-trained parameters are kept frozen").
+	Seed int64
+	// Standardize zero-means and unit-scales each image before the conv
+	// stack and L2-normalizes the output features. This discards the
+	// image's absolute echo level — a discriminative, session-stable
+	// biometric trait (body size, clothing reflectivity; the imager has
+	// already calibrated away device gain against the direct path) — so
+	// it is off by default; the scale-invariant variant exists for
+	// ablation and for deployments without level calibration.
+	Standardize bool
+}
+
+// DefaultConfig yields a 56→28→14→7 stack producing 7×7×32 = 1568
+// features: the same spatial shape as the paper's VGGish cut, with a
+// channel count sized to the synthetic workload.
+func DefaultConfig() Config {
+	return Config{
+		InputSize: 56,
+		Channels:  []int{8, 16, 32},
+		Seed:      20230048, // the paper's DOI suffix, fixed forever
+	}
+}
+
+// Validate checks the architecture.
+func (c Config) Validate() error {
+	if c.InputSize < 4 {
+		return fmt.Errorf("features: input size %d too small", c.InputSize)
+	}
+	if len(c.Channels) == 0 {
+		return fmt.Errorf("features: no conv blocks")
+	}
+	size := c.InputSize
+	for i, ch := range c.Channels {
+		if ch < 1 {
+			return fmt.Errorf("features: block %d has %d channels", i, ch)
+		}
+		if size%2 != 0 {
+			return fmt.Errorf("features: size %d not divisible by 2 at block %d", size, i)
+		}
+		size /= 2
+	}
+	return nil
+}
+
+// OutputDim returns the flattened feature dimensionality.
+func (c Config) OutputDim() int {
+	size := c.InputSize >> len(c.Channels)
+	return size * size * c.Channels[len(c.Channels)-1]
+}
+
+// convBlock is one frozen conv3×3 + bias layer.
+type convBlock struct {
+	inCh, outCh int
+	// weights[o][i][ky*3+kx]
+	weights [][][]float64
+	bias    []float64
+}
+
+// Extractor is the frozen network. It is safe for concurrent use once
+// constructed: all state is read-only.
+type Extractor struct {
+	cfg    Config
+	blocks []convBlock
+}
+
+// NewExtractor builds the frozen network from the config's seed.
+func NewExtractor(cfg Config) (*Extractor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	blocks := make([]convBlock, len(cfg.Channels))
+	inCh := 1
+	for b, outCh := range cfg.Channels {
+		blk := convBlock{
+			inCh:    inCh,
+			outCh:   outCh,
+			weights: make([][][]float64, outCh),
+			bias:    make([]float64, outCh),
+		}
+		// He-style initialization keeps activations in range through the
+		// ReLU stack.
+		std := math.Sqrt(2 / float64(inCh*9))
+		for o := 0; o < outCh; o++ {
+			blk.weights[o] = make([][]float64, inCh)
+			for i := 0; i < inCh; i++ {
+				k := make([]float64, 9)
+				for j := range k {
+					k[j] = rng.NormFloat64() * std
+				}
+				blk.weights[o][i] = k
+			}
+			blk.bias[o] = rng.NormFloat64() * 0.01
+		}
+		blocks[b] = blk
+		inCh = outCh
+	}
+	return &Extractor{cfg: cfg, blocks: blocks}, nil
+}
+
+// Dim returns the output feature dimensionality.
+func (e *Extractor) Dim() int { return e.cfg.OutputDim() }
+
+// Extract resizes the image to the network input, runs the frozen stack and
+// returns the flattened feature vector. With Standardize set, the input is
+// zero-meaned/unit-scaled and the output L2-normalized (scale-invariant
+// features); otherwise the image's calibrated echo level flows through.
+func (e *Extractor) Extract(img *aimage.Image) []float64 {
+	in := img.Resize(e.cfg.InputSize, e.cfg.InputSize)
+	plane := make([]float64, len(in.Pix))
+	if e.cfg.Standardize {
+		mean := in.Mean()
+		var variance float64
+		for _, v := range in.Pix {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= float64(len(in.Pix))
+		std := math.Sqrt(variance)
+		if std > 0 {
+			inv := 1 / std
+			for i, v := range in.Pix {
+				plane[i] = (v - mean) * inv
+			}
+		}
+	} else {
+		copy(plane, in.Pix)
+	}
+
+	size := e.cfg.InputSize
+	planes := [][]float64{plane}
+	for _, blk := range e.blocks {
+		planes = blk.forward(planes, size)
+		size /= 2
+	}
+
+	out := make([]float64, 0, e.Dim())
+	for _, p := range planes {
+		out = append(out, p...)
+	}
+	if e.cfg.Standardize {
+		var norm float64
+		for _, v := range out {
+			norm += v * v
+		}
+		if norm > 0 {
+			inv := 1 / math.Sqrt(norm)
+			for i := range out {
+				out[i] *= inv
+			}
+		}
+	}
+	return out
+}
+
+// forward applies conv3×3 (same padding) + ReLU + maxpool2×2 to all input
+// planes of the given square size, returning outCh planes of size/2.
+func (b convBlock) forward(in [][]float64, size int) [][]float64 {
+	half := size / 2
+	out := make([][]float64, b.outCh)
+	conv := make([]float64, size*size)
+	for o := 0; o < b.outCh; o++ {
+		for i := range conv {
+			conv[i] = b.bias[o]
+		}
+		for ic := 0; ic < b.inCh; ic++ {
+			src := in[ic]
+			k := b.weights[o][ic]
+			for y := 0; y < size; y++ {
+				for x := 0; x < size; x++ {
+					var s float64
+					for ky := -1; ky <= 1; ky++ {
+						yy := y + ky
+						if yy < 0 || yy >= size {
+							continue
+						}
+						row := yy * size
+						kRow := (ky + 1) * 3
+						for kx := -1; kx <= 1; kx++ {
+							xx := x + kx
+							if xx < 0 || xx >= size {
+								continue
+							}
+							s += src[row+xx] * k[kRow+kx+1]
+						}
+					}
+					conv[y*size+x] += s
+				}
+			}
+		}
+		// ReLU + 2×2 max pool.
+		pooled := make([]float64, half*half)
+		for y := 0; y < half; y++ {
+			for x := 0; x < half; x++ {
+				m := 0.0
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						v := conv[(2*y+dy)*size+2*x+dx]
+						if v > m {
+							m = v
+						}
+					}
+				}
+				pooled[y*half+x] = m
+			}
+		}
+		out[o] = pooled
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"echoimage/internal/aimage"
+)
+
+func randImage(rng *rand.Rand, rows, cols int) *aimage.Image {
+	im := aimage.New(rows, cols)
+	for i := range im.Pix {
+		im.Pix[i] = rng.NormFloat64()
+	}
+	return im
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 56 → 28 → 14 → 7, 32 channels: the paper's 7×7×C output shape.
+	if cfg.OutputDim() != 7*7*32 {
+		t.Errorf("OutputDim = %d, want %d", cfg.OutputDim(), 7*7*32)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{InputSize: 2, Channels: []int{8}},
+		{InputSize: 56},
+		{InputSize: 56, Channels: []int{0}},
+		{InputSize: 54, Channels: []int{8}}, // 54 not divisible by 2 after one halving? 54/2=27 then 27%2!=0
+	}
+	bad[3].Channels = []int{8, 16}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestExtractorDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	im := randImage(rng, 36, 36)
+	e1, err := NewExtractor(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewExtractor(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, f2 := e1.Extract(im), e2.Extract(im)
+	if len(f1) != e1.Dim() {
+		t.Fatalf("feature length %d, want %d", len(f1), e1.Dim())
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatal("same seed produced different networks")
+		}
+	}
+	// A different seed yields a different network.
+	cfg := DefaultConfig()
+	cfg.Seed = 999
+	e3, err := NewExtractor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3 := e3.Extract(im)
+	diff := 0
+	for i := range f1 {
+		if f1[i] != f3[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical features")
+	}
+}
+
+func TestExtractStandardizedInvariances(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Standardize = true
+	ext, err := NewExtractor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	im := randImage(rng, 36, 36)
+	f := ext.Extract(im)
+	// Unit L2 norm.
+	var norm float64
+	for _, v := range f {
+		norm += v * v
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Errorf("feature norm² = %g, want 1", norm)
+	}
+	// Invariant to affine pixel transforms.
+	scaled := im.Clone()
+	for i := range scaled.Pix {
+		scaled.Pix[i] = scaled.Pix[i]*3 + 2
+	}
+	fs := ext.Extract(scaled)
+	for i := range f {
+		if math.Abs(f[i]-fs[i]) > 1e-7 {
+			t.Fatalf("standardized features not affine-invariant at %d: %g vs %g", i, f[i], fs[i])
+		}
+	}
+}
+
+func TestExtractScalePreservingSeesScale(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Standardize = false
+	ext, err := NewExtractor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	im := randImage(rng, 36, 36)
+	f1 := ext.Extract(im)
+	doubled := im.Clone()
+	for i := range doubled.Pix {
+		doubled.Pix[i] *= 2
+	}
+	f2 := ext.Extract(doubled)
+	var d float64
+	for i := range f1 {
+		d += math.Abs(f1[i] - f2[i])
+	}
+	if d < 1e-6 {
+		t.Error("scale-preserving features ignored a 2x scale")
+	}
+}
+
+func TestExtractDiscriminatesImages(t *testing.T) {
+	ext, err := NewExtractor(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	a := randImage(rng, 36, 36)
+	b := randImage(rng, 36, 36)
+	fa, fb := ext.Extract(a), ext.Extract(b)
+	var d float64
+	for i := range fa {
+		diff := fa[i] - fb[i]
+		d += diff * diff
+	}
+	if math.Sqrt(d) < 0.1 {
+		t.Errorf("distinct random images map to near-identical features (d=%g)", math.Sqrt(d))
+	}
+}
+
+func TestExtractConstantImage(t *testing.T) {
+	ext, err := NewExtractor(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := aimage.New(36, 36)
+	f := ext.Extract(flat)
+	for _, v := range f {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("constant image produced NaN/Inf features")
+		}
+	}
+}

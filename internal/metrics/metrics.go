@@ -1,0 +1,237 @@
+// Package metrics implements the evaluation measures of §VI-A2: recall,
+// precision, accuracy and F-measure over binary counts, plus multi-class
+// confusion matrices for the Figure 11 reproduction.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Binary accumulates two-class outcome counts.
+type Binary struct {
+	TP, TN, FP, FN int
+}
+
+// Add merges another counter into b.
+func (b *Binary) Add(o Binary) {
+	b.TP += o.TP
+	b.TN += o.TN
+	b.FP += o.FP
+	b.FN += o.FN
+}
+
+// Observe records one outcome given the ground truth and the prediction.
+func (b *Binary) Observe(truth, predicted bool) {
+	switch {
+	case truth && predicted:
+		b.TP++
+	case truth && !predicted:
+		b.FN++
+	case !truth && predicted:
+		b.FP++
+	default:
+		b.TN++
+	}
+}
+
+// Total returns the number of observations.
+func (b Binary) Total() int { return b.TP + b.TN + b.FP + b.FN }
+
+// Recall is tp/(tp+fn); 0 when undefined.
+func (b Binary) Recall() float64 {
+	d := b.TP + b.FN
+	if d == 0 {
+		return 0
+	}
+	return float64(b.TP) / float64(d)
+}
+
+// Precision is tp/(tp+fp); 0 when undefined.
+func (b Binary) Precision() float64 {
+	d := b.TP + b.FP
+	if d == 0 {
+		return 0
+	}
+	return float64(b.TP) / float64(d)
+}
+
+// Accuracy is (tp+tn)/total; 0 when undefined.
+func (b Binary) Accuracy() float64 {
+	d := b.Total()
+	if d == 0 {
+		return 0
+	}
+	return float64(b.TP+b.TN) / float64(d)
+}
+
+// FMeasure is the harmonic mean of precision and recall (Eq. 16); 0 when
+// undefined.
+func (b Binary) FMeasure() float64 {
+	p, r := b.Precision(), b.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String formats the four §VI-A2 metrics.
+func (b Binary) String() string {
+	return fmt.Sprintf("recall=%.4f precision=%.4f accuracy=%.4f F=%.4f (n=%d)",
+		b.Recall(), b.Precision(), b.Accuracy(), b.FMeasure(), b.Total())
+}
+
+// Confusion is a label-indexed confusion matrix. Labels are arbitrary ints;
+// use a reserved label (e.g. 0) for "rejected as spoofer".
+type Confusion struct {
+	counts map[int]map[int]int
+	labels map[int]struct{}
+}
+
+// NewConfusion returns an empty matrix.
+func NewConfusion() *Confusion {
+	return &Confusion{
+		counts: make(map[int]map[int]int),
+		labels: make(map[int]struct{}),
+	}
+}
+
+// Observe records one (truth, predicted) outcome.
+func (c *Confusion) Observe(truth, predicted int) {
+	row := c.counts[truth]
+	if row == nil {
+		row = make(map[int]int)
+		c.counts[truth] = row
+	}
+	row[predicted]++
+	c.labels[truth] = struct{}{}
+	c.labels[predicted] = struct{}{}
+}
+
+// Count returns the number of samples with the given truth predicted as
+// predicted.
+func (c *Confusion) Count(truth, predicted int) int {
+	return c.counts[truth][predicted]
+}
+
+// RowTotal returns the number of samples whose ground truth is the label.
+func (c *Confusion) RowTotal(truth int) int {
+	var t int
+	for _, n := range c.counts[truth] {
+		t += n
+	}
+	return t
+}
+
+// Labels returns every label seen, ascending.
+func (c *Confusion) Labels() []int {
+	out := make([]int, 0, len(c.labels))
+	for l := range c.labels {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RowAccuracy returns the fraction of samples with the given truth that
+// were predicted correctly.
+func (c *Confusion) RowAccuracy(truth int) float64 {
+	t := c.RowTotal(truth)
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Count(truth, truth)) / float64(t)
+}
+
+// OverallAccuracy returns the trace fraction.
+func (c *Confusion) OverallAccuracy() float64 {
+	var correct, total int
+	for truth, row := range c.counts {
+		for pred, n := range row {
+			if truth == pred {
+				correct += n
+			}
+			total += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// MultiClassMetrics summarizes a multi-class confusion matrix with
+// micro-averaged measures.
+type MultiClassMetrics struct {
+	// Recall is the fraction of samples identified as their true class
+	// (rejections count as misses).
+	Recall float64
+	// Precision is the fraction of class-naming predictions that were
+	// correct (predictions of the reject label are excluded from the
+	// denominator).
+	Precision float64
+	// Accuracy equals Recall in the micro-averaged multi-class setting
+	// and is kept for symmetry with the paper's reporting.
+	Accuracy float64
+}
+
+// FMeasure returns the harmonic mean of precision and recall (Eq. 16).
+func (m MultiClassMetrics) FMeasure() float64 {
+	if m.Precision+m.Recall == 0 {
+		return 0
+	}
+	return 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+}
+
+// MultiClass computes micro-averaged recall/precision/accuracy treating
+// rejectLabel as "no class named".
+func (c *Confusion) MultiClass(rejectLabel int) MultiClassMetrics {
+	var correct, total, named int
+	for truth, row := range c.counts {
+		if truth == rejectLabel {
+			continue
+		}
+		for pred, n := range row {
+			total += n
+			if pred == truth {
+				correct += n
+			}
+			if pred != rejectLabel {
+				named += n
+			}
+		}
+	}
+	var m MultiClassMetrics
+	if total > 0 {
+		m.Recall = float64(correct) / float64(total)
+		m.Accuracy = m.Recall
+	}
+	if named > 0 {
+		m.Precision = float64(correct) / float64(named)
+	}
+	return m
+}
+
+// String renders the matrix with row-normalized fractions.
+func (c *Confusion) String() string {
+	labels := c.Labels()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%8s", "truth\\pred")
+	for _, l := range labels {
+		fmt.Fprintf(&sb, "%7d", l)
+	}
+	sb.WriteByte('\n')
+	for _, truth := range labels {
+		total := c.RowTotal(truth)
+		if total == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "%10d", truth)
+		for _, pred := range labels {
+			fmt.Fprintf(&sb, "%7.2f", float64(c.Count(truth, pred))/float64(total))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

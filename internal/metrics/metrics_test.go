@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryMetrics(t *testing.T) {
+	b := Binary{TP: 8, TN: 5, FP: 2, FN: 1}
+	if got := b.Recall(); math.Abs(got-8.0/9) > 1e-12 {
+		t.Errorf("recall %g", got)
+	}
+	if got := b.Precision(); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("precision %g", got)
+	}
+	if got := b.Accuracy(); math.Abs(got-13.0/16) > 1e-12 {
+		t.Errorf("accuracy %g", got)
+	}
+	p, r := b.Precision(), b.Recall()
+	if got := b.FMeasure(); math.Abs(got-2*p*r/(p+r)) > 1e-12 {
+		t.Errorf("F %g", got)
+	}
+	if b.Total() != 16 {
+		t.Errorf("total %d", b.Total())
+	}
+}
+
+func TestBinaryZeroSafe(t *testing.T) {
+	var b Binary
+	if b.Recall() != 0 || b.Precision() != 0 || b.Accuracy() != 0 || b.FMeasure() != 0 {
+		t.Error("empty counters not zero")
+	}
+}
+
+func TestBinaryObserveAdd(t *testing.T) {
+	var b Binary
+	b.Observe(true, true)   // TP
+	b.Observe(true, false)  // FN
+	b.Observe(false, true)  // FP
+	b.Observe(false, false) // TN
+	if b.TP != 1 || b.FN != 1 || b.FP != 1 || b.TN != 1 {
+		t.Errorf("counts %+v", b)
+	}
+	var sum Binary
+	sum.Add(b)
+	sum.Add(b)
+	if sum.Total() != 8 {
+		t.Errorf("merged total %d", sum.Total())
+	}
+}
+
+// TestFMeasureIsHarmonicMean property-checks Eq. 16 and its bounds.
+func TestFMeasureIsHarmonicMean(t *testing.T) {
+	f := func(tp, tn, fp, fn uint8) bool {
+		b := Binary{TP: int(tp), TN: int(tn), FP: int(fp), FN: int(fn)}
+		fm := b.FMeasure()
+		if fm < 0 || fm > 1 {
+			return false
+		}
+		p, r := b.Precision(), b.Recall()
+		lo, hi := math.Min(p, r), math.Max(p, r)
+		// The harmonic mean lies between min and max.
+		return fm >= lo-1e-12 && fm <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	c := NewConfusion()
+	c.Observe(1, 1)
+	c.Observe(1, 1)
+	c.Observe(1, 2)
+	c.Observe(2, 2)
+	c.Observe(0, 0)
+	if c.Count(1, 1) != 2 || c.Count(1, 2) != 1 {
+		t.Error("counts wrong")
+	}
+	if c.RowTotal(1) != 3 {
+		t.Errorf("row total %d", c.RowTotal(1))
+	}
+	if got := c.RowAccuracy(1); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("row accuracy %g", got)
+	}
+	if got := c.OverallAccuracy(); math.Abs(got-4.0/5) > 1e-12 {
+		t.Errorf("overall %g", got)
+	}
+	labels := c.Labels()
+	if len(labels) != 3 || labels[0] != 0 || labels[2] != 2 {
+		t.Errorf("labels %v", labels)
+	}
+	if !strings.Contains(c.String(), "truth") {
+		t.Error("String missing header")
+	}
+}
+
+func TestConfusionMultiClass(t *testing.T) {
+	c := NewConfusion()
+	// 3 correct, 1 misidentified, 1 rejected (label 0).
+	c.Observe(1, 1)
+	c.Observe(1, 1)
+	c.Observe(2, 2)
+	c.Observe(2, 1)
+	c.Observe(1, 0)
+	m := c.MultiClass(0)
+	if math.Abs(m.Recall-3.0/5) > 1e-12 {
+		t.Errorf("recall %g, want 0.6", m.Recall)
+	}
+	// 4 predictions named a class; 3 were right.
+	if math.Abs(m.Precision-3.0/4) > 1e-12 {
+		t.Errorf("precision %g, want 0.75", m.Precision)
+	}
+	if m.Accuracy != m.Recall {
+		t.Error("accuracy != recall in micro-averaged setting")
+	}
+	if f := m.FMeasure(); f <= 0 || f > 1 {
+		t.Errorf("F %g", f)
+	}
+}
+
+func TestConfusionEmpty(t *testing.T) {
+	c := NewConfusion()
+	if c.OverallAccuracy() != 0 || c.RowAccuracy(5) != 0 {
+		t.Error("empty confusion not zero")
+	}
+	m := c.MultiClass(0)
+	if m.Recall != 0 || m.Precision != 0 {
+		t.Error("empty multiclass not zero")
+	}
+}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ROCPoint is one operating point of a score-thresholded detector.
+type ROCPoint struct {
+	Threshold float64
+	// TPR is the true-positive rate (legitimate samples accepted).
+	TPR float64
+	// FPR is the false-positive rate (impostor samples accepted).
+	FPR float64
+}
+
+// ROC computes the receiver operating characteristic of an
+// accept-if-score-at-least-threshold detector from genuine (should accept)
+// and impostor (should reject) scores. Points are ordered by decreasing
+// threshold, so TPR and FPR are non-decreasing along the slice.
+func ROC(genuine, impostor []float64) ([]ROCPoint, error) {
+	if len(genuine) == 0 || len(impostor) == 0 {
+		return nil, fmt.Errorf("metrics: ROC needs both genuine (%d) and impostor (%d) scores", len(genuine), len(impostor))
+	}
+	thresholds := make([]float64, 0, len(genuine)+len(impostor))
+	thresholds = append(thresholds, genuine...)
+	thresholds = append(thresholds, impostor...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(thresholds)))
+
+	points := make([]ROCPoint, 0, len(thresholds))
+	for _, th := range thresholds {
+		var tp, fp int
+		for _, s := range genuine {
+			if s >= th {
+				tp++
+			}
+		}
+		for _, s := range impostor {
+			if s >= th {
+				fp++
+			}
+		}
+		points = append(points, ROCPoint{
+			Threshold: th,
+			TPR:       float64(tp) / float64(len(genuine)),
+			FPR:       float64(fp) / float64(len(impostor)),
+		})
+	}
+	return points, nil
+}
+
+// EER returns the equal error rate — the operating point where the false
+// rejection rate (1−TPR) equals the false acceptance rate (FPR) — and the
+// threshold achieving it, interpolating between the two straddling ROC
+// points.
+func EER(genuine, impostor []float64) (rate, threshold float64, err error) {
+	points, err := ROC(genuine, impostor)
+	if err != nil {
+		return 0, 0, err
+	}
+	// FRR decreases and FPR increases along the slice; find the crossing.
+	prev := points[0]
+	for _, p := range points {
+		frr := 1 - p.TPR
+		if frr <= p.FPR {
+			// Interpolate between the straddling points where the
+			// FRR−FPR gap crosses zero.
+			prevFRR := 1 - prev.TPR
+			gapPrev := prevFRR - prev.FPR
+			gapCur := frr - p.FPR
+			t := 0.0
+			if gapPrev != gapCur {
+				t = gapPrev / (gapPrev - gapCur)
+			}
+			rate = (prevFRR + t*(frr-prevFRR) + prev.FPR + t*(p.FPR-prev.FPR)) / 2
+			threshold = prev.Threshold + t*(p.Threshold-prev.Threshold)
+			return rate, threshold, nil
+		}
+		prev = p
+	}
+	last := points[len(points)-1]
+	return (1 - last.TPR + last.FPR) / 2, last.Threshold, nil
+}
+
+// AUC returns the area under the ROC curve via trapezoidal integration —
+// the probability a random genuine sample outscores a random impostor.
+func AUC(genuine, impostor []float64) (float64, error) {
+	points, err := ROC(genuine, impostor)
+	if err != nil {
+		return 0, err
+	}
+	var area float64
+	prev := ROCPoint{TPR: 0, FPR: 0}
+	for _, p := range points {
+		area += (p.FPR - prev.FPR) * (p.TPR + prev.TPR) / 2
+		prev = p
+	}
+	// Close the curve to (1, 1).
+	area += (1 - prev.FPR) * (1 + prev.TPR) / 2
+	return area, nil
+}

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestROCPerfectSeparation(t *testing.T) {
+	genuine := []float64{0.9, 0.8, 0.7}
+	impostor := []float64{0.1, 0.2, 0.3}
+	auc, err := AUC(genuine, impostor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-1) > 1e-12 {
+		t.Errorf("AUC %g, want 1", auc)
+	}
+	rate, th, err := EER(genuine, impostor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate > 1e-9 {
+		t.Errorf("EER %g, want 0", rate)
+	}
+	if th < 0.3 || th > 0.7 {
+		t.Errorf("EER threshold %g outside the separating gap", th)
+	}
+}
+
+func TestROCRandomScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	genuine := make([]float64, 500)
+	impostor := make([]float64, 500)
+	for i := range genuine {
+		genuine[i] = rng.Float64()
+		impostor[i] = rng.Float64()
+	}
+	auc, err := AUC(genuine, impostor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 0.06 {
+		t.Errorf("AUC of identical distributions %g, want ≈ 0.5", auc)
+	}
+	rate, _, err := EER(genuine, impostor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rate-0.5) > 0.06 {
+		t.Errorf("EER of identical distributions %g, want ≈ 0.5", rate)
+	}
+}
+
+func TestROCShiftedGaussians(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	genuine := make([]float64, 400)
+	impostor := make([]float64, 400)
+	for i := range genuine {
+		genuine[i] = rng.NormFloat64() + 2
+		impostor[i] = rng.NormFloat64()
+	}
+	auc, err := AUC(genuine, impostor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d' = 2 ⇒ AUC = Φ(2/√2) ≈ 0.921.
+	if auc < 0.88 || auc > 0.96 {
+		t.Errorf("AUC %g, want ≈ 0.92", auc)
+	}
+	rate, _, err := EER(genuine, impostor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EER = 1 − Φ(1) ≈ 0.159.
+	if rate < 0.10 || rate > 0.22 {
+		t.Errorf("EER %g, want ≈ 0.16", rate)
+	}
+}
+
+func TestROCMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	genuine := make([]float64, 100)
+	impostor := make([]float64, 100)
+	for i := range genuine {
+		genuine[i] = rng.NormFloat64() + 1
+		impostor[i] = rng.NormFloat64()
+	}
+	points, err := ROC(genuine, impostor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].TPR < points[i-1].TPR-1e-12 || points[i].FPR < points[i-1].FPR-1e-12 {
+			t.Fatalf("ROC not monotone at %d: %+v -> %+v", i, points[i-1], points[i])
+		}
+	}
+}
+
+func TestROCValidation(t *testing.T) {
+	if _, err := ROC(nil, []float64{1}); err == nil {
+		t.Error("empty genuine accepted")
+	}
+	if _, _, err := EER([]float64{1}, nil); err == nil {
+		t.Error("empty impostor accepted")
+	}
+	if _, err := AUC(nil, nil); err == nil {
+		t.Error("empty inputs accepted")
+	}
+}

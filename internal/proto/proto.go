@@ -1,0 +1,187 @@
+// Package proto defines the wire protocol between the EchoImage daemon
+// (cmd/echoimaged) and its clients: length-prefixed JSON messages over a
+// stream transport. The daemon owns the trained authenticator; clients
+// submit captures for enrollment or authentication.
+package proto
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MaxMessageBytes bounds a single message to keep a misbehaving peer from
+// exhausting memory. Captures dominate message size: 20 beeps × 6 channels
+// × 2640 samples × 8 bytes ≈ 2.5 MiB as JSON numbers.
+const MaxMessageBytes = 64 << 20
+
+// MsgType discriminates requests and responses.
+type MsgType string
+
+// Protocol message types.
+const (
+	TypeEnrollRequest  MsgType = "enroll"
+	TypeAuthRequest    MsgType = "authenticate"
+	TypeStatusRequest  MsgType = "status"
+	TypeEnrollResponse MsgType = "enroll_result"
+	TypeAuthResponse   MsgType = "auth_result"
+	TypeStatusResponse MsgType = "status_result"
+	TypeError          MsgType = "error"
+)
+
+// Envelope frames every message.
+type Envelope struct {
+	Type MsgType         `json:"type"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// CaptureWire carries a multichannel capture.
+type CaptureWire struct {
+	// Beeps is indexed [beep][mic][sample].
+	Beeps      [][][]float64 `json:"beeps"`
+	SampleRate float64       `json:"sample_rate"`
+	// NoiseOnly optionally carries a speaker-silent recording for noise
+	// covariance estimation.
+	NoiseOnly [][]float64 `json:"noise_only,omitempty"`
+	// Reference optionally carries the installation's background
+	// calibration beep (empty-scene response) for subtraction.
+	Reference [][]float64 `json:"reference,omitempty"`
+}
+
+// EnrollRequest registers a user from a capture.
+type EnrollRequest struct {
+	UserID  int         `json:"user_id"`
+	Capture CaptureWire `json:"capture"`
+	// Retrain, when set, rebuilds the classifier immediately; otherwise
+	// enrollment data accumulates until the next retraining request.
+	Retrain bool `json:"retrain"`
+}
+
+// EnrollResponse reports the enrollment outcome.
+type EnrollResponse struct {
+	UserID      int     `json:"user_id"`
+	Images      int     `json:"images"`
+	DistanceM   float64 `json:"distance_m"`
+	Trained     bool    `json:"trained"`
+	TotalUsers  int     `json:"total_users"`
+	TotalImages int     `json:"total_images"`
+}
+
+// AuthRequest authenticates a capture.
+type AuthRequest struct {
+	Capture CaptureWire `json:"capture"`
+}
+
+// AuthResponse reports the decision.
+type AuthResponse struct {
+	Accepted  bool    `json:"accepted"`
+	UserID    int     `json:"user_id"`
+	GateScore float64 `json:"gate_score"`
+	DistanceM float64 `json:"distance_m"`
+	Images    int     `json:"images"`
+}
+
+// StatusResponse describes the daemon state.
+type StatusResponse struct {
+	Users       []int `json:"users"`
+	Trained     bool  `json:"trained"`
+	TotalImages int   `json:"total_images"`
+}
+
+// ErrorResponse carries a failure.
+type ErrorResponse struct {
+	Message string `json:"message"`
+}
+
+// Write frames and sends one message: a 4-byte big-endian length followed
+// by the JSON envelope.
+func Write(w io.Writer, msgType MsgType, body any) error {
+	var raw json.RawMessage
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("proto: marshal body: %w", err)
+		}
+		raw = b
+	}
+	payload, err := json.Marshal(Envelope{Type: msgType, Body: raw})
+	if err != nil {
+		return fmt.Errorf("proto: marshal envelope: %w", err)
+	}
+	if len(payload) > MaxMessageBytes {
+		return fmt.Errorf("proto: message of %d bytes exceeds limit", len(payload))
+	}
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(len(payload)))
+	if _, err := w.Write(prefix[:]); err != nil {
+		return fmt.Errorf("proto: write length prefix: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("proto: write payload: %w", err)
+	}
+	return nil
+}
+
+// Read receives one framed message.
+func Read(r io.Reader) (*Envelope, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("proto: read length prefix: %w", err)
+	}
+	size := binary.BigEndian.Uint32(prefix[:])
+	if size == 0 || size > MaxMessageBytes {
+		return nil, fmt.Errorf("proto: message length %d out of range", size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("proto: read payload: %w", err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		return nil, fmt.Errorf("proto: unmarshal envelope: %w", err)
+	}
+	return &env, nil
+}
+
+// DecodeBody unmarshals an envelope body into the given value.
+func DecodeBody(env *Envelope, into any) error {
+	if len(env.Body) == 0 {
+		return fmt.Errorf("proto: %s message has no body", env.Type)
+	}
+	if err := json.Unmarshal(env.Body, into); err != nil {
+		return fmt.Errorf("proto: unmarshal %s body: %w", env.Type, err)
+	}
+	return nil
+}
+
+// Conn wraps a stream with buffered framed I/O.
+type Conn struct {
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+// NewConn wraps rw.
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{r: bufio.NewReader(rw), w: bufio.NewWriter(rw)}
+}
+
+// Send writes a message and flushes.
+func (c *Conn) Send(msgType MsgType, body any) error {
+	if err := Write(c.w, msgType, body); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("proto: flush: %w", err)
+	}
+	return nil
+}
+
+// Receive reads the next message.
+func (c *Conn) Receive() (*Envelope, error) {
+	return Read(c.r)
+}

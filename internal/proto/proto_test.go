@@ -1,0 +1,128 @@
+package proto
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	req := EnrollRequest{
+		UserID: 7,
+		Capture: CaptureWire{
+			Beeps:      [][][]float64{{{0.1, 0.2}, {0.3, 0.4}}},
+			SampleRate: 48000,
+		},
+		Retrain: true,
+	}
+	if err := Write(&buf, TypeEnrollRequest, req); err != nil {
+		t.Fatal(err)
+	}
+	env, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != TypeEnrollRequest {
+		t.Fatalf("type %q", env.Type)
+	}
+	var back EnrollRequest
+	if err := DecodeBody(env, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.UserID != 7 || !back.Retrain || back.Capture.SampleRate != 48000 {
+		t.Errorf("round trip lost fields: %+v", back)
+	}
+	if back.Capture.Beeps[0][1][1] != 0.4 {
+		t.Error("samples corrupted")
+	}
+}
+
+func TestWriteNilBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, TypeStatusRequest, nil); err != nil {
+		t.Fatal(err)
+	}
+	env, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != TypeStatusRequest {
+		t.Errorf("type %q", env.Type)
+	}
+	if err := DecodeBody(env, &StatusResponse{}); err == nil {
+		t.Error("empty body decoded")
+	}
+}
+
+func TestReadRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := Read(&buf); err == nil {
+		t.Error("oversized length accepted")
+	}
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 0})
+	if _, err := Read(&buf); err == nil {
+		t.Error("zero length accepted")
+	}
+}
+
+func TestReadEOF(t *testing.T) {
+	if _, err := Read(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty stream error %v, want io.EOF", err)
+	}
+}
+
+func TestReadTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 10})
+	buf.WriteString("short")
+	if _, err := Read(&buf); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestConnOverPipe(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		pc := NewConn(server)
+		env, err := pc.Receive()
+		if err != nil {
+			done <- err
+			return
+		}
+		var req AuthRequest
+		if err := DecodeBody(env, &req); err != nil {
+			done <- err
+			return
+		}
+		done <- pc.Send(TypeAuthResponse, AuthResponse{Accepted: true, UserID: 3})
+	}()
+
+	pc := NewConn(client)
+	if err := pc.Send(TypeAuthRequest, AuthRequest{
+		Capture: CaptureWire{Beeps: [][][]float64{{{1}}}, SampleRate: 48000},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := pc.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp AuthResponse
+	if err := DecodeBody(env, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Accepted || resp.UserID != 3 {
+		t.Errorf("response %+v", resp)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"fmt"
+
+	"echoimage/internal/array"
+)
+
+// Environment identifies one of the paper's three test venues (§VI-A1).
+type Environment int
+
+// The venues the paper evaluates in.
+const (
+	EnvLab Environment = iota + 1
+	EnvConferenceHall
+	EnvOutdoor
+)
+
+// String returns the venue name.
+func (e Environment) String() string {
+	switch e {
+	case EnvLab:
+		return "laboratory"
+	case EnvConferenceHall:
+		return "conference-hall"
+	case EnvOutdoor:
+		return "outdoor"
+	default:
+		return fmt.Sprintf("Environment(%d)", int(e))
+	}
+}
+
+// NoiseCondition identifies the interference played during testing
+// (§VI-A1: quiet, music, people chatting, traffic noise).
+type NoiseCondition int
+
+// The noise conditions the paper evaluates under.
+const (
+	NoiseQuiet NoiseCondition = iota + 1
+	NoiseMusic
+	NoiseChatter
+	NoiseTraffic
+)
+
+// String returns the condition name.
+func (n NoiseCondition) String() string {
+	switch n {
+	case NoiseQuiet:
+		return "quiet"
+	case NoiseMusic:
+		return "music"
+	case NoiseChatter:
+		return "chatting"
+	case NoiseTraffic:
+		return "traffic"
+	default:
+		return fmt.Sprintf("NoiseCondition(%d)", int(n))
+	}
+}
+
+// EnvironmentSpec bundles the passive acoustics of a venue: wall/furniture
+// clutter reflectors, the diffuse reverberation tail, and the always-on
+// ambient noise level.
+type EnvironmentSpec struct {
+	Env       Environment
+	Clutter   []Reflector
+	Reverb    *ReverbConfig
+	AmbientDB float64
+}
+
+// Spec returns the venue's acoustic preset. Clutter positions are fixed per
+// venue so that repeated sessions see the same static environment, matching
+// the paper's observation that echoes from static objects are stable.
+func (e Environment) Spec() (EnvironmentSpec, error) {
+	switch e {
+	case EnvLab:
+		// A small room: near side walls and furniture.
+		return EnvironmentSpec{
+			Env: e,
+			Clutter: []Reflector{
+				{Pos: array.Vec3{X: -1.8, Y: 1.2, Z: 0.3}, Strength: 0.25},  // side wall
+				{Pos: array.Vec3{X: 1.9, Y: 0.8, Z: 0.1}, Strength: 0.22},   // side wall
+				{Pos: array.Vec3{X: 0.3, Y: 2.6, Z: 0.2}, Strength: 0.30},   // back wall
+				{Pos: array.Vec3{X: -0.6, Y: 2.2, Z: -0.4}, Strength: 0.18}, // desk
+				{Pos: array.Vec3{X: 0.9, Y: 1.6, Z: 0.9}, Strength: 0.12},   // shelf
+			},
+			Reverb:    &ReverbConfig{RT60: 0.35, Level: 0.004, OnsetSec: 0.012},
+			AmbientDB: 30,
+		}, nil
+	case EnvConferenceHall:
+		// A large hall: distant walls, longer reverberation.
+		return EnvironmentSpec{
+			Env: e,
+			Clutter: []Reflector{
+				{Pos: array.Vec3{X: -4.5, Y: 3.5, Z: 0.5}, Strength: 0.35},
+				{Pos: array.Vec3{X: 5.0, Y: 2.8, Z: 0.2}, Strength: 0.32},
+				{Pos: array.Vec3{X: 0.5, Y: 7.5, Z: 0.4}, Strength: 0.40},
+				{Pos: array.Vec3{X: -1.5, Y: 4.0, Z: -0.5}, Strength: 0.20}, // chairs
+				{Pos: array.Vec3{X: 2.2, Y: 5.2, Z: 0.8}, Strength: 0.15},
+			},
+			Reverb:    &ReverbConfig{RT60: 0.9, Level: 0.006, OnsetSec: 0.02},
+			AmbientDB: 32,
+		}, nil
+	case EnvOutdoor:
+		// Open air: only a ground bounce, no reverberation, breezier
+		// ambient.
+		return EnvironmentSpec{
+			Env: e,
+			Clutter: []Reflector{
+				{Pos: array.Vec3{X: 0.2, Y: 1.1, Z: -1.2}, Strength: 0.15}, // ground
+			},
+			Reverb:    nil,
+			AmbientDB: 36,
+		}, nil
+	default:
+		return EnvironmentSpec{}, fmt.Errorf("sim: unknown environment %d", int(e))
+	}
+}
+
+// NoiseSources returns the interferers for a noise condition in this venue:
+// the ambient background plus, for non-quiet conditions, a played source
+// ~1.5 m from the array at the given level (the paper uses ~50 dB from a
+// computer 1–2 m away).
+func (s EnvironmentSpec) NoiseSources(cond NoiseCondition, levelDB float64) ([]NoiseSource, error) {
+	ambientSpec := AmbientNoise()
+	if s.Env == EnvOutdoor {
+		ambientSpec = WindNoise()
+	}
+	sources := []NoiseSource{
+		{Pos: array.Vec3{X: 1.0, Y: 2.0, Z: 0.5}, Spectrum: ambientSpec, LevelDB: s.AmbientDB},
+	}
+	playedPos := array.Vec3{X: -1.2, Y: 0.9, Z: 0.0}
+	switch cond {
+	case NoiseQuiet:
+	case NoiseMusic:
+		sources = append(sources, NoiseSource{Pos: playedPos, Spectrum: MusicNoise(), LevelDB: levelDB})
+	case NoiseChatter:
+		sources = append(sources, NoiseSource{Pos: playedPos, Spectrum: ChatterNoise(), LevelDB: levelDB})
+	case NoiseTraffic:
+		sources = append(sources, NoiseSource{Pos: playedPos, Spectrum: TrafficNoise(), LevelDB: levelDB})
+	default:
+		return nil, fmt.Errorf("sim: unknown noise condition %d", int(cond))
+	}
+	return sources, nil
+}
+
+// Environments lists the paper's venues in presentation order.
+func Environments() []Environment {
+	return []Environment{EnvLab, EnvConferenceHall, EnvOutdoor}
+}
+
+// NoiseConditions lists the paper's noise conditions in presentation order.
+func NoiseConditions() []NoiseCondition {
+	return []NoiseCondition{NoiseQuiet, NoiseMusic, NoiseChatter, NoiseTraffic}
+}

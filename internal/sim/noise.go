@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"echoimage/internal/dsp"
+)
+
+// Spectrum shapes wide-sense-stationary noise in the frequency domain. The
+// magnitude envelope is evaluated per FFT bin; phases are random.
+type Spectrum struct {
+	// Name identifies the preset for logs and experiment tables.
+	Name string
+	// Envelope returns the relative magnitude at freq Hz (>= 0). It need
+	// not be normalized; Generate rescales the output to unit RMS.
+	Envelope func(freqHz float64) float64
+}
+
+// Generate synthesizes n samples of unit-RMS noise with the spectrum's
+// magnitude envelope at sample rate fs, using rng for the random phases.
+func (s Spectrum) Generate(rng *rand.Rand, n int, fs float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	size := dsp.NextPow2(n)
+	spec := make([]complex128, size)
+	binHz := fs / float64(size)
+	for k := 1; k < size/2; k++ {
+		mag := s.Envelope(float64(k) * binHz)
+		if mag <= 0 {
+			continue
+		}
+		phase := rng.Float64() * 2 * math.Pi
+		v := complex(mag*math.Cos(phase), mag*math.Sin(phase))
+		spec[k] = v
+		spec[size-k] = complex(real(v), -imag(v))
+	}
+	td := dsp.IFFT(spec)
+	out := make([]float64, n)
+	var energy float64
+	for i := 0; i < n; i++ {
+		out[i] = real(td[i])
+		energy += out[i] * out[i]
+	}
+	rms := math.Sqrt(energy / float64(n))
+	if rms > 0 {
+		inv := 1 / rms
+		for i := range out {
+			out[i] *= inv
+		}
+	}
+	return out
+}
+
+// AmbientNoise is the quiet-room background: pink-ish noise concentrated
+// below 2 kHz (the paper: environmental noises "are mostly concentrated
+// below 2000 Hz").
+func AmbientNoise() Spectrum {
+	return Spectrum{
+		Name: "ambient",
+		Envelope: func(f float64) float64 {
+			if f < 20 {
+				return 0
+			}
+			return 1 / math.Sqrt(f) * rolloff(f, 2000, 400)
+		},
+	}
+}
+
+// MusicNoise approximates played music: broadband up to ~8 kHz with
+// substantial energy remaining inside the 2–3 kHz sensing band.
+func MusicNoise() Spectrum {
+	return Spectrum{
+		Name: "music",
+		Envelope: func(f float64) float64 {
+			if f < 40 {
+				return 0
+			}
+			base := 1 / math.Pow(f/100+1, 1.1)
+			// Harmonic-ish bumps across the midrange.
+			bump := 1 + 0.5*math.Abs(math.Sin(f/330*math.Pi))
+			return base * bump * rolloff(f, 6000, 2000)
+		},
+	}
+}
+
+// ChatterNoise approximates people chatting: speech-band energy from
+// roughly 300–3400 Hz with formant structure, overlapping the sensing band
+// more than traffic does.
+func ChatterNoise() Spectrum {
+	return Spectrum{
+		Name: "chatting",
+		Envelope: func(f float64) float64 {
+			if f < 100 {
+				return 0
+			}
+			// Formant energy falls steeply with frequency: real speech
+			// carries only a few percent of its power above 2 kHz.
+			formants := 0.0
+			for _, fc := range []struct{ c, a, w float64 }{
+				{500, 1.0, 350}, {1400, 0.45, 450}, {2500, 0.12, 500},
+			} {
+				d := (f - fc.c) / fc.w
+				formants += fc.a * math.Exp(-d*d)
+			}
+			return formants * rolloff(f, 3400, 800)
+		},
+	}
+}
+
+// TrafficNoise approximates road traffic: a low-frequency rumble that rolls
+// off sharply before the 2 kHz bandpass edge.
+func TrafficNoise() Spectrum {
+	return Spectrum{
+		Name: "traffic",
+		Envelope: func(f float64) float64 {
+			if f < 15 {
+				return 0
+			}
+			return 1 / (1 + math.Pow(f/400, 2)) * rolloff(f, 1500, 300)
+		},
+	}
+}
+
+// WindNoise is outdoor broadband low-frequency turbulence with a longer
+// tail than traffic.
+func WindNoise() Spectrum {
+	return Spectrum{
+		Name: "wind",
+		Envelope: func(f float64) float64 {
+			if f < 10 {
+				return 0
+			}
+			return 1 / (1 + math.Pow(f/250, 1.6))
+		},
+	}
+}
+
+// WhiteNoise is flat across the band, used in tests.
+func WhiteNoise() Spectrum {
+	return Spectrum{
+		Name:     "white",
+		Envelope: func(f float64) float64 { return 1 },
+	}
+}
+
+// BandNoise is flat inside [lo, hi] Hz and zero outside, used for the
+// diffuse reverberation tail which shares the probe chirp's band.
+func BandNoise(lo, hi float64) Spectrum {
+	return Spectrum{
+		Name: "band",
+		Envelope: func(f float64) float64 {
+			if f < lo || f > hi {
+				return 0
+			}
+			return 1
+		},
+	}
+}
+
+// rolloff is a smooth high-frequency cutoff: ~1 below edge, decaying with
+// the given transition width above it.
+func rolloff(f, edge, width float64) float64 {
+	if f <= edge {
+		return 1
+	}
+	d := (f - edge) / width
+	return math.Exp(-d * d)
+}

@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"echoimage/internal/array"
+	"echoimage/internal/chirp"
+	"echoimage/internal/dsp"
+)
+
+func quietScene() *Scene {
+	s := NewScene(array.ReSpeaker())
+	s.Config.SensorNoiseRMS = 0
+	return s
+}
+
+func TestCaptureShape(t *testing.T) {
+	s := NewScene(array.ReSpeaker())
+	train := chirp.DefaultTrain(3)
+	recs, err := s.Capture(train, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d beeps, want 3", len(recs))
+	}
+	wantSamples := int(math.Round((s.Config.WindowSec + s.Config.PreRollSec) * s.Config.SampleRate))
+	for l, beep := range recs {
+		if len(beep) != 6 {
+			t.Fatalf("beep %d has %d channels", l, len(beep))
+		}
+		for m, ch := range beep {
+			if len(ch) != wantSamples {
+				t.Fatalf("beep %d mic %d has %d samples, want %d", l, m, len(ch), wantSamples)
+			}
+		}
+	}
+}
+
+func TestCaptureDeterministic(t *testing.T) {
+	mk := func() [][][]float64 {
+		s := NewScene(array.ReSpeaker())
+		s.Reflectors = []Reflector{{Pos: array.Vec3{Y: 1}, Strength: 0.5}}
+		s.Noise = []NoiseSource{{Pos: array.Vec3{X: 1, Y: 1}, Spectrum: WhiteNoise(), LevelDB: 40}}
+		recs, err := s.Capture(chirp.DefaultTrain(2), 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+	a, b := mk(), mk()
+	for l := range a {
+		for m := range a[l] {
+			for i := range a[l][m] {
+				if a[l][m][i] != b[l][m][i] {
+					t.Fatalf("captures differ at beep %d mic %d sample %d", l, m, i)
+				}
+			}
+		}
+	}
+}
+
+func TestEchoArrivalTiming(t *testing.T) {
+	s := quietScene()
+	const dist = 1.0
+	s.Reflectors = []Reflector{{Pos: array.Vec3{Y: dist}, Strength: 1}}
+	recs, err := s.Capture(chirp.DefaultTrain(1), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Matched filter against the chirp: the echo must appear at the
+	// round-trip delay (relative to emission, which starts after the
+	// pre-roll).
+	tmpl := chirp.Default().Samples()
+	fs := s.Config.SampleRate
+	corr := dsp.Envelope(dsp.MatchedFilter(recs[0][0], tmpl))
+	// Direct path peak.
+	direct := dsp.ArgMax(corr)
+	wantDirect := int((s.Config.PreRollSec + s.SpeakerPos.Dist(s.Array.Mic(0))/array.SpeedOfSound) * fs)
+	if d := direct - wantDirect; d < -5 || d > 5 {
+		t.Fatalf("direct path at %d, want %d", direct, wantDirect)
+	}
+	// Echo peak: search after the direct lobe.
+	echoRegion := corr[direct+192:]
+	echo := direct + 192 + dsp.ArgMax(echoRegion)
+	roundTrip := (s.SpeakerPos.Dist(array.Vec3{Y: dist}) + (array.Vec3{Y: dist}).Dist(s.Array.Mic(0))) / array.SpeedOfSound
+	wantEcho := int(s.Config.PreRollSec*fs + roundTrip*fs)
+	if d := echo - wantEcho; d < -8 || d > 8 {
+		t.Errorf("echo at %d, want %d", echo, wantEcho)
+	}
+}
+
+func TestEchoAmplitudeInverseSquare(t *testing.T) {
+	measure := func(dist float64) float64 {
+		s := quietScene()
+		s.Reflectors = []Reflector{{Pos: array.Vec3{Y: dist}, Strength: 1}}
+		recs, err := s.Capture(chirp.DefaultTrain(1), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := s.Config.SampleRate
+		start := int((s.Config.PreRollSec + 2*dist/array.SpeedOfSound) * fs)
+		seg := recs[0][0][start-24 : start+120]
+		return dsp.RMS(seg)
+	}
+	near, far := measure(0.7), measure(1.4)
+	// Two-leg spreading: amplitude ∝ 1/d² → doubling distance quarters
+	// the echo.
+	ratio := near / far
+	if ratio < 3 || ratio > 5.5 {
+		t.Errorf("0.7m/1.4m echo ratio %g, want ≈ 4", ratio)
+	}
+}
+
+func TestNoiseLevelScaling(t *testing.T) {
+	rms := func(levelDB float64) float64 {
+		s := quietScene()
+		s.Noise = []NoiseSource{{Pos: array.Vec3{X: 1, Y: 1}, Spectrum: WhiteNoise(), LevelDB: levelDB}}
+		chans, err := s.CaptureNoiseFor(5, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dsp.RMS(chans[0])
+	}
+	// +20 dB means 10x the amplitude.
+	r30, r50 := rms(30), rms(50)
+	if ratio := r50 / r30; ratio < 8 || ratio > 12 {
+		t.Errorf("50dB/30dB RMS ratio %g, want ≈ 10", ratio)
+	}
+}
+
+func TestClipLevel(t *testing.T) {
+	s := NewScene(array.ReSpeaker())
+	s.Config.ClipLevel = 0.5
+	recs, err := s.Capture(chirp.DefaultTrain(1), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range recs[0] {
+		for _, v := range ch {
+			if v > 0.5 || v < -0.5 {
+				t.Fatalf("sample %g escaped clipping", v)
+			}
+		}
+	}
+}
+
+func TestMotionMovesBody(t *testing.T) {
+	s := quietScene()
+	s.Body = []Reflector{{Pos: array.Vec3{Y: 0.7}, Strength: 1}}
+	s.Motion = &MotionConfig{SwayStepM: 0.01, SwayMaxM: 0.05}
+	recs, err := s.Capture(chirp.DefaultTrain(4), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Successive beeps must differ (the body moved); a frozen body yields
+	// identical echoes in a noise-free scene.
+	diff := 0.0
+	for i := range recs[0][0] {
+		d := recs[0][0][i] - recs[3][0][i]
+		diff += d * d
+	}
+	if diff == 0 {
+		t.Error("motion did not change the echo")
+	}
+	s.Motion = nil
+	recs, err = s.Capture(chirp.DefaultTrain(2), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs[0][0] {
+		if recs[0][0][i] != recs[1][0][i] {
+			t.Fatal("frozen body changed between beeps")
+		}
+	}
+}
+
+func TestCaptureReferenceCancelsStatics(t *testing.T) {
+	s := quietScene()
+	s.Reflectors = []Reflector{{Pos: array.Vec3{X: 1.5, Y: 1.5}, Strength: 0.5}}
+	train := chirp.DefaultTrain(1)
+	recs, err := s.Capture(train, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := s.CaptureReference(train.Chirp, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In a noise-free scene with no body, capture − reference ≈ 0.
+	var residual, total float64
+	for m := range recs[0] {
+		for i := range recs[0][m] {
+			d := recs[0][m][i] - ref[m][i]
+			residual += d * d
+			total += recs[0][m][i] * recs[0][m][i]
+		}
+	}
+	if residual > 1e-12*total {
+		t.Errorf("reference subtraction residual %g of %g", residual, total)
+	}
+}
+
+func TestSpectraInBandFractions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bp, err := dsp.ButterworthBandpass(4, 2000, 3000, 48000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inBand := func(s Spectrum) float64 {
+		w := s.Generate(rng, 1<<15, 48000)
+		return dsp.Energy(bp.Filter(w)) / dsp.Energy(w)
+	}
+	// The premise of the paper's band choice: everyday noise concentrates
+	// below 2 kHz.
+	if f := inBand(TrafficNoise()); f > 0.001 {
+		t.Errorf("traffic in-band fraction %g, want ≈ 0", f)
+	}
+	if f := inBand(ChatterNoise()); f > 0.08 {
+		t.Errorf("chatter in-band fraction %g, want < 0.08", f)
+	}
+	if f := inBand(MusicNoise()); f > 0.08 {
+		t.Errorf("music in-band fraction %g, want < 0.08", f)
+	}
+	// Unit RMS normalization.
+	w := MusicNoise().Generate(rng, 4096, 48000)
+	if r := dsp.RMS(w); math.Abs(r-1) > 0.05 {
+		t.Errorf("generated noise RMS %g, want 1", r)
+	}
+}
+
+func TestEnvironmentSpecs(t *testing.T) {
+	for _, env := range Environments() {
+		spec, err := env.Spec()
+		if err != nil {
+			t.Fatalf("%s: %v", env, err)
+		}
+		for _, cond := range NoiseConditions() {
+			srcs, err := spec.NoiseSources(cond, 50)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", env, cond, err)
+			}
+			if len(srcs) == 0 {
+				t.Fatalf("%s/%s: no noise sources", env, cond)
+			}
+			if cond == NoiseQuiet && len(srcs) != 1 {
+				t.Errorf("%s quiet has %d sources, want ambient only", env, len(srcs))
+			}
+		}
+	}
+	if _, err := Environment(99).Spec(); err == nil {
+		t.Error("unknown environment accepted")
+	}
+}
+
+func TestCaptureValidation(t *testing.T) {
+	s := NewScene(array.ReSpeaker())
+	badTrain := chirp.Train{Chirp: chirp.Default(), IntervalSec: 0.5, Count: 0}
+	if _, err := s.Capture(badTrain, 1); err == nil {
+		t.Error("invalid train accepted")
+	}
+	c := chirp.Default()
+	c.SampleRate = 44100
+	mismatch := chirp.Train{Chirp: c, IntervalSec: 0.5, Count: 1}
+	if _, err := s.Capture(mismatch, 1); err == nil {
+		t.Error("sample-rate mismatch accepted")
+	}
+	var noArray Scene
+	noArray.Config = DefaultConfig()
+	if _, err := noArray.Capture(chirp.DefaultTrain(1), 1); err == nil {
+		t.Error("scene without array accepted")
+	}
+	if _, err := s.CaptureNoiseFor(1, 0); err == nil {
+		t.Error("zero-duration noise capture accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package svm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MultiClass is a one-vs-one multi-class SVM: one binary classifier per
+// unordered class pair, combined by majority vote with decision-value
+// tie-breaking (the libsvm construction).
+type MultiClass struct {
+	classes []int
+	pairs   []pairModel
+}
+
+type pairModel struct {
+	a, b  int // class labels; the binary model votes a on +1
+	model *BinarySVC
+}
+
+// TrainMultiClass fits the one-vs-one ensemble. Labels may be any ints;
+// at least two distinct classes are required.
+func TrainMultiClass(k Kernel, xs [][]float64, labels []int, cfg SVCConfig) (*MultiClass, error) {
+	if len(xs) != len(labels) {
+		return nil, fmt.Errorf("svm: %d labels for %d samples", len(labels), len(xs))
+	}
+	byClass := make(map[int][][]float64)
+	for i, x := range xs {
+		byClass[labels[i]] = append(byClass[labels[i]], x)
+	}
+	if len(byClass) < 2 {
+		return nil, fmt.Errorf("svm: multi-class needs >= 2 classes, got %d", len(byClass))
+	}
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+
+	mc := &MultiClass{classes: classes}
+	for i := 0; i < len(classes); i++ {
+		for j := i + 1; j < len(classes); j++ {
+			a, b := classes[i], classes[j]
+			var px [][]float64
+			var py []int
+			px = append(px, byClass[a]...)
+			for range byClass[a] {
+				py = append(py, 1)
+			}
+			px = append(px, byClass[b]...)
+			for range byClass[b] {
+				py = append(py, -1)
+			}
+			m, err := TrainBinary(k, px, py, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("svm: pair (%d, %d): %w", a, b, err)
+			}
+			mc.pairs = append(mc.pairs, pairModel{a: a, b: b, model: m})
+		}
+	}
+	return mc, nil
+}
+
+// Classes returns the sorted class labels.
+func (m *MultiClass) Classes() []int {
+	out := make([]int, len(m.classes))
+	copy(out, m.classes)
+	return out
+}
+
+// Scores returns, for each class, the number of pairwise duels won and the
+// accumulated winning decision magnitude. It exposes the evidence behind
+// Predict so callers can reason about confidence (e.g. reject ambiguous
+// samples).
+func (m *MultiClass) Scores(x []float64) (votes map[int]int, margin map[int]float64) {
+	votes = make(map[int]int, len(m.classes))
+	margin = make(map[int]float64, len(m.classes))
+	for _, p := range m.pairs {
+		d := p.model.Decision(x)
+		if d >= 0 {
+			votes[p.a]++
+			margin[p.a] += d
+		} else {
+			votes[p.b]++
+			margin[p.b] -= d
+		}
+	}
+	return votes, margin
+}
+
+// Predict returns the majority-vote class for x. Ties break toward the
+// class with the larger accumulated decision magnitude.
+func (m *MultiClass) Predict(x []float64) int {
+	votes := make(map[int]int, len(m.classes))
+	margin := make(map[int]float64, len(m.classes))
+	for _, p := range m.pairs {
+		d := p.model.Decision(x)
+		if d >= 0 {
+			votes[p.a]++
+			margin[p.a] += d
+		} else {
+			votes[p.b]++
+			margin[p.b] -= d
+		}
+	}
+	best := m.classes[0]
+	for _, c := range m.classes[1:] {
+		if votes[c] > votes[best] || (votes[c] == votes[best] && margin[c] > margin[best]) {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,77 @@
+package svm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMultiClassScoresConsistentWithPredict verifies the exposed voting
+// evidence agrees with the decision.
+func TestMultiClassScoresConsistentWithPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	centers := [][2]float64{{2, 0}, {-2, 0}, {0, 3}, {0, -3}}
+	var xs [][]float64
+	var ys []int
+	for c, ctr := range centers {
+		for i := 0; i < 25; i++ {
+			xs = append(xs, []float64{ctr[0] + rng.NormFloat64()*0.4, ctr[1] + rng.NormFloat64()*0.4})
+			ys = append(ys, c+1)
+		}
+	}
+	m, err := TrainMultiClass(RBF{Gamma: 0.5}, xs, ys, DefaultSVCConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		x := []float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+		pred := m.Predict(x)
+		votes, margin := m.Scores(x)
+		best, bestVotes := 0, -1
+		for _, c := range m.Classes() {
+			if votes[c] > bestVotes || (votes[c] == bestVotes && margin[c] > margin[best]) {
+				best, bestVotes = c, votes[c]
+			}
+		}
+		if best != pred {
+			t.Fatalf("Scores winner %d != Predict %d at %v (votes %v)", best, pred, x, votes)
+		}
+		// Total votes equal the number of pairwise duels.
+		total := 0
+		for _, v := range votes {
+			total += v
+		}
+		want := len(m.Classes()) * (len(m.Classes()) - 1) / 2
+		if total != want {
+			t.Fatalf("vote total %d, want %d", total, want)
+		}
+	}
+}
+
+// TestSVDDScoreSign verifies Score is positive inside and negative outside
+// the decision boundary, consistent with Accept.
+func TestSVDDScoreSign(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	var xs [][]float64
+	for i := 0; i < 60; i++ {
+		xs = append(xs, []float64{rng.NormFloat64() * 0.5, rng.NormFloat64() * 0.5})
+	}
+	m, err := TrainSVDD(RBF{Gamma: 1}, xs, DefaultSVDDConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		x := []float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+		if m.Accept(x) != (m.Score(x) >= 0) {
+			t.Fatalf("Accept and Score disagree at %v: accept=%v score=%g", x, m.Accept(x), m.Score(x))
+		}
+	}
+	if m.Radius2() <= 0 {
+		t.Errorf("radius² %g", m.Radius2())
+	}
+	if m.NumSV() < 1 {
+		t.Error("no support vectors")
+	}
+	if m.Iterations() < 1 {
+		t.Error("no solver iterations recorded")
+	}
+}

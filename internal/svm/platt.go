@@ -1,0 +1,128 @@
+package svm
+
+import (
+	"fmt"
+	"math"
+)
+
+// PlattScaler maps raw SVM decision values to calibrated probabilities via
+// logistic regression on held-out scores: P(y=1|f) = 1/(1+exp(A·f+B))
+// (Platt 1999, with the Lin-Lin-Weng numerically stable fit).
+type PlattScaler struct {
+	A, B float64
+}
+
+// FitPlatt fits the scaler to decision values with ±1 labels using
+// Newton's method with backtracking, as in Lin, Lin & Weng (2007).
+func FitPlatt(decisions []float64, labels []int) (*PlattScaler, error) {
+	n := len(decisions)
+	if n == 0 || len(labels) != n {
+		return nil, fmt.Errorf("svm: Platt fit needs matched decisions (%d) and labels (%d)", n, len(labels))
+	}
+	var numPos, numNeg int
+	targets := make([]float64, n)
+	for i, l := range labels {
+		switch l {
+		case 1:
+			numPos++
+		case -1:
+			numNeg++
+		default:
+			return nil, fmt.Errorf("svm: Platt label %d at %d not in {-1, +1}", l, i)
+		}
+	}
+	if numPos == 0 || numNeg == 0 {
+		return nil, fmt.Errorf("svm: Platt fit needs both classes (%d pos, %d neg)", numPos, numNeg)
+	}
+	// Smoothed targets avoid log(0).
+	hiTarget := (float64(numPos) + 1) / (float64(numPos) + 2)
+	loTarget := 1 / (float64(numNeg) + 2)
+	for i, l := range labels {
+		if l == 1 {
+			targets[i] = hiTarget
+		} else {
+			targets[i] = loTarget
+		}
+	}
+
+	a, b := 0.0, math.Log((float64(numNeg)+1)/(float64(numPos)+1))
+	const (
+		maxIter = 100
+		minStep = 1e-10
+		sigma   = 1e-12
+	)
+	fval := plattObjective(decisions, targets, a, b)
+	for iter := 0; iter < maxIter; iter++ {
+		// Gradient and Hessian.
+		var h11, h22, h21, g1, g2 float64
+		h11, h22 = sigma, sigma
+		for i, f := range decisions {
+			fApB := f*a + b
+			var p, q float64
+			if fApB >= 0 {
+				e := math.Exp(-fApB)
+				p = e / (1 + e)
+				q = 1 / (1 + e)
+			} else {
+				e := math.Exp(fApB)
+				p = 1 / (1 + e)
+				q = e / (1 + e)
+			}
+			d2 := p * q
+			h11 += f * f * d2
+			h22 += d2
+			h21 += f * d2
+			d1 := targets[i] - p
+			g1 += f * d1
+			g2 += d1
+		}
+		if math.Abs(g1) < 1e-5 && math.Abs(g2) < 1e-5 {
+			break
+		}
+		// Newton direction.
+		det := h11*h22 - h21*h21
+		dA := -(h22*g1 - h21*g2) / det
+		dB := -(-h21*g1 + h11*g2) / det
+		gd := g1*dA + g2*dB
+
+		step := 1.0
+		for step >= minStep {
+			newA, newB := a+step*dA, b+step*dB
+			newF := plattObjective(decisions, targets, newA, newB)
+			if newF < fval+1e-4*step*gd {
+				a, b, fval = newA, newB, newF
+				break
+			}
+			step /= 2
+		}
+		if step < minStep {
+			break
+		}
+	}
+	return &PlattScaler{A: a, B: b}, nil
+}
+
+// plattObjective is the negative log-likelihood with smoothed targets.
+func plattObjective(decisions, targets []float64, a, b float64) float64 {
+	var f float64
+	for i, d := range decisions {
+		fApB := d*a + b
+		t := targets[i]
+		if fApB >= 0 {
+			f += t*fApB + math.Log1p(math.Exp(-fApB))
+		} else {
+			f += (t-1)*fApB + math.Log1p(math.Exp(fApB))
+		}
+	}
+	return f
+}
+
+// Probability maps a decision value to P(y = +1).
+func (p *PlattScaler) Probability(decision float64) float64 {
+	fApB := decision*p.A + p.B
+	if fApB >= 0 {
+		e := math.Exp(-fApB)
+		return e / (1 + e)
+	}
+	return 1 / (1 + math.Exp(fApB))
+}

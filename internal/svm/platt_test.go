@@ -1,0 +1,99 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPlattSeparable(t *testing.T) {
+	var decisions []float64
+	var labels []int
+	for i := 0; i < 50; i++ {
+		decisions = append(decisions, 2+rand.New(rand.NewSource(int64(i))).Float64())
+		labels = append(labels, 1)
+		decisions = append(decisions, -2-rand.New(rand.NewSource(int64(i+100))).Float64())
+		labels = append(labels, -1)
+	}
+	p, err := FitPlatt(decisions, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Probability(3); got < 0.9 {
+		t.Errorf("P(+1 | f=3) = %g, want > 0.9", got)
+	}
+	if got := p.Probability(-3); got > 0.1 {
+		t.Errorf("P(+1 | f=-3) = %g, want < 0.1", got)
+	}
+	if got := p.Probability(0); got < 0.2 || got > 0.8 {
+		t.Errorf("P(+1 | f=0) = %g, want near the middle", got)
+	}
+}
+
+func TestPlattMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var decisions []float64
+	var labels []int
+	for i := 0; i < 200; i++ {
+		d := rng.NormFloat64() * 2
+		decisions = append(decisions, d)
+		// Noisy labels correlated with the decision value.
+		if d+rng.NormFloat64() > 0 {
+			labels = append(labels, 1)
+		} else {
+			labels = append(labels, -1)
+		}
+	}
+	p, err := FitPlatt(decisions, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := p.Probability(-5)
+	for f := -4.5; f <= 5; f += 0.5 {
+		cur := p.Probability(f)
+		if cur < prev-1e-9 {
+			t.Fatalf("probability not monotone at f=%g: %g < %g", f, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestPlattCalibrationQuality(t *testing.T) {
+	// Scores drawn from a known logistic model must be recovered.
+	rng := rand.New(rand.NewSource(2))
+	trueA, trueB := -1.5, 0.3
+	var decisions []float64
+	var labels []int
+	for i := 0; i < 3000; i++ {
+		f := rng.NormFloat64() * 3
+		pPos := 1 / (1 + math.Exp(trueA*f+trueB))
+		decisions = append(decisions, f)
+		if rng.Float64() < pPos {
+			labels = append(labels, 1)
+		} else {
+			labels = append(labels, -1)
+		}
+	}
+	p, err := FitPlatt(decisions, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.A-trueA) > 0.3 || math.Abs(p.B-trueB) > 0.3 {
+		t.Errorf("recovered (A=%.2f, B=%.2f), want (%.2f, %.2f)", p.A, p.B, trueA, trueB)
+	}
+}
+
+func TestPlattValidation(t *testing.T) {
+	if _, err := FitPlatt(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := FitPlatt([]float64{1, 2}, []int{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FitPlatt([]float64{1, 2}, []int{1, 1}); err == nil {
+		t.Error("single-class input accepted")
+	}
+	if _, err := FitPlatt([]float64{1, 2}, []int{1, 0}); err == nil {
+		t.Error("label 0 accepted")
+	}
+}

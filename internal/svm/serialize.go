@@ -1,0 +1,125 @@
+package svm
+
+import "fmt"
+
+// BinarySVCState is the serializable form of a trained binary classifier.
+type BinarySVCState struct {
+	Gamma          float64     `json:"gamma"`
+	SupportVectors [][]float64 `json:"support_vectors"`
+	Coefficients   []float64   `json:"coefficients"`
+	Bias           float64     `json:"bias"`
+}
+
+// Export captures the model state. Only RBF-kernel models are exportable.
+func (m *BinarySVC) Export() (*BinarySVCState, error) {
+	rbf, ok := m.kernel.(RBF)
+	if !ok {
+		return nil, fmt.Errorf("svm: only RBF models are serializable, have %s", m.kernel)
+	}
+	return &BinarySVCState{
+		Gamma:          rbf.Gamma,
+		SupportVectors: m.svX,
+		Coefficients:   m.svCoef,
+		Bias:           m.bias,
+	}, nil
+}
+
+// RestoreBinary rebuilds a classifier from exported state.
+func RestoreBinary(s *BinarySVCState) (*BinarySVC, error) {
+	if len(s.SupportVectors) == 0 || len(s.SupportVectors) != len(s.Coefficients) {
+		return nil, fmt.Errorf("svm: invalid binary state: %d SVs, %d coefficients",
+			len(s.SupportVectors), len(s.Coefficients))
+	}
+	return &BinarySVC{
+		kernel:  RBF{Gamma: s.Gamma},
+		svX:     s.SupportVectors,
+		svCoef:  s.Coefficients,
+		bias:    s.Bias,
+		nSV:     len(s.SupportVectors),
+		trained: true,
+	}, nil
+}
+
+// SVDDState is the serializable form of a trained domain description.
+type SVDDState struct {
+	Gamma          float64     `json:"gamma"`
+	SupportVectors [][]float64 `json:"support_vectors"`
+	Alphas         []float64   `json:"alphas"`
+	Radius2        float64     `json:"radius2"`
+	SphereK        float64     `json:"sphere_k"`
+	Slack          float64     `json:"slack"`
+}
+
+// Export captures the model state. Only RBF-kernel models are exportable.
+func (m *SVDD) Export() (*SVDDState, error) {
+	rbf, ok := m.kernel.(RBF)
+	if !ok {
+		return nil, fmt.Errorf("svm: only RBF models are serializable, have %s", m.kernel)
+	}
+	return &SVDDState{
+		Gamma:          rbf.Gamma,
+		SupportVectors: m.svX,
+		Alphas:         m.svAlpha,
+		Radius2:        m.radius2,
+		SphereK:        m.sphereK,
+		Slack:          m.slack,
+	}, nil
+}
+
+// RestoreSVDD rebuilds a domain description from exported state.
+func RestoreSVDD(s *SVDDState) (*SVDD, error) {
+	if len(s.SupportVectors) == 0 || len(s.SupportVectors) != len(s.Alphas) {
+		return nil, fmt.Errorf("svm: invalid SVDD state: %d SVs, %d alphas",
+			len(s.SupportVectors), len(s.Alphas))
+	}
+	return &SVDD{
+		kernel:  RBF{Gamma: s.Gamma},
+		svX:     s.SupportVectors,
+		svAlpha: s.Alphas,
+		radius2: s.Radius2,
+		sphereK: s.SphereK,
+		slack:   s.Slack,
+	}, nil
+}
+
+// MultiClassState is the serializable form of a one-vs-one ensemble.
+type MultiClassState struct {
+	Classes []int            `json:"classes"`
+	Pairs   []PairModelState `json:"pairs"`
+}
+
+// PairModelState is one pairwise duel of the ensemble.
+type PairModelState struct {
+	A     int             `json:"a"`
+	B     int             `json:"b"`
+	Model *BinarySVCState `json:"model"`
+}
+
+// Export captures the ensemble state.
+func (m *MultiClass) Export() (*MultiClassState, error) {
+	out := &MultiClassState{Classes: m.Classes()}
+	for _, p := range m.pairs {
+		ms, err := p.model.Export()
+		if err != nil {
+			return nil, err
+		}
+		out.Pairs = append(out.Pairs, PairModelState{A: p.a, B: p.b, Model: ms})
+	}
+	return out, nil
+}
+
+// RestoreMultiClass rebuilds an ensemble from exported state.
+func RestoreMultiClass(s *MultiClassState) (*MultiClass, error) {
+	if len(s.Classes) < 2 {
+		return nil, fmt.Errorf("svm: invalid multiclass state: %d classes", len(s.Classes))
+	}
+	mc := &MultiClass{classes: s.Classes}
+	for _, p := range s.Pairs {
+		m, err := RestoreBinary(p.Model)
+		if err != nil {
+			return nil, err
+		}
+		mc.pairs = append(mc.pairs, pairModel{a: p.A, b: p.B, model: m})
+	}
+	return mc, nil
+}

@@ -1,0 +1,218 @@
+package svm
+
+import (
+	"fmt"
+	"math"
+)
+
+// SVCConfig parameterizes a binary soft-margin SVM.
+type SVCConfig struct {
+	// C is the soft-margin penalty.
+	C float64
+	// Tol is the SMO stopping tolerance on the KKT violation gap.
+	Tol float64
+	// MaxIter bounds SMO pair updates; <= 0 means a generous default.
+	MaxIter int
+}
+
+// DefaultSVCConfig returns C=10 with libsvm-like tolerances.
+func DefaultSVCConfig() SVCConfig {
+	return SVCConfig{C: 10, Tol: 1e-3, MaxIter: 0}
+}
+
+// BinarySVC is a trained two-class classifier. Labels are ±1.
+type BinarySVC struct {
+	kernel  Kernel
+	svX     [][]float64
+	svCoef  []float64 // α_i·y_i for each support vector
+	bias    float64
+	iters   int
+	nSV     int
+	trained bool
+}
+
+// TrainBinary fits a binary C-SVC on xs with labels ys ∈ {-1, +1} using
+// sequential minimal optimization with maximal-violating-pair working-set
+// selection (the libsvm strategy).
+func TrainBinary(k Kernel, xs [][]float64, ys []int, cfg SVCConfig) (*BinarySVC, error) {
+	n := len(xs)
+	switch {
+	case n == 0:
+		return nil, fmt.Errorf("svm: empty training set")
+	case len(ys) != n:
+		return nil, fmt.Errorf("svm: %d labels for %d samples", len(ys), n)
+	case cfg.C <= 0:
+		return nil, fmt.Errorf("svm: C=%g <= 0", cfg.C)
+	}
+	hasPos, hasNeg := false, false
+	y := make([]float64, n)
+	for i, v := range ys {
+		switch v {
+		case 1:
+			hasPos = true
+			y[i] = 1
+		case -1:
+			hasNeg = true
+			y[i] = -1
+		default:
+			return nil, fmt.Errorf("svm: label %d at sample %d not in {-1, +1}", v, i)
+		}
+	}
+	if !hasPos || !hasNeg {
+		return nil, fmt.Errorf("svm: training set needs both classes")
+	}
+	tol := cfg.Tol
+	if tol <= 0 {
+		tol = 1e-3
+	}
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = 200 * n
+		if maxIter < 20000 {
+			maxIter = 20000
+		}
+	}
+
+	g := gram(k, xs)
+	alpha := make([]float64, n)
+	// grad_i = ∂(½αᵀQα - eᵀα)/∂α_i = Σ_j α_j y_i y_j K_ij - 1.
+	grad := make([]float64, n)
+	for i := range grad {
+		grad[i] = -1
+	}
+
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		// Working-set selection: maximal violating pair.
+		i, j := -1, -1
+		gMax, gMin := math.Inf(-1), math.Inf(1)
+		for t := 0; t < n; t++ {
+			// I_up: y=+1 & α<C, or y=-1 & α>0.
+			if (y[t] > 0 && alpha[t] < cfg.C) || (y[t] < 0 && alpha[t] > 0) {
+				if v := -y[t] * grad[t]; v > gMax {
+					gMax, i = v, t
+				}
+			}
+			// I_low: y=+1 & α>0, or y=-1 & α<C.
+			if (y[t] > 0 && alpha[t] > 0) || (y[t] < 0 && alpha[t] < cfg.C) {
+				if v := -y[t] * grad[t]; v < gMin {
+					gMin, j = v, t
+				}
+			}
+		}
+		if i < 0 || j < 0 || gMax-gMin < tol {
+			break
+		}
+
+		// Analytic pair update along the feasible direction d_i = y_i,
+		// d_j = -y_j, whose curvature is K_ii + K_jj - 2·K_ij.
+		quad := g[i*n+i] + g[j*n+j] - 2*g[i*n+j]
+		if quad <= 1e-12 {
+			quad = 1e-12
+		}
+		// Solve for the step along the feasible direction.
+		delta := (-y[i]*grad[i] + y[j]*grad[j]) / quad
+		oldAi, oldAj := alpha[i], alpha[j]
+		sum := y[i]*oldAi + y[j]*oldAj
+		alpha[i] += y[i] * delta
+		// Clip α_i to its box.
+		if alpha[i] < 0 {
+			alpha[i] = 0
+		} else if alpha[i] > cfg.C {
+			alpha[i] = cfg.C
+		}
+		alpha[j] = y[j] * (sum - y[i]*alpha[i])
+		if alpha[j] < 0 {
+			alpha[j] = 0
+			alpha[i] = y[i] * (sum - y[j]*alpha[j])
+			if alpha[i] < 0 {
+				alpha[i] = 0
+			} else if alpha[i] > cfg.C {
+				alpha[i] = cfg.C
+			}
+		} else if alpha[j] > cfg.C {
+			alpha[j] = cfg.C
+			alpha[i] = y[i] * (sum - y[j]*alpha[j])
+			if alpha[i] < 0 {
+				alpha[i] = 0
+			} else if alpha[i] > cfg.C {
+				alpha[i] = cfg.C
+			}
+		}
+		dAi := alpha[i] - oldAi
+		dAj := alpha[j] - oldAj
+		if dAi == 0 && dAj == 0 {
+			break
+		}
+		for t := 0; t < n; t++ {
+			grad[t] += y[t] * (y[i]*dAi*g[i*n+t] + y[j]*dAj*g[j*n+t])
+		}
+	}
+
+	// Bias from the KKT conditions: average y_i - Σα_jy_jK_ij over free
+	// SVs, falling back to the midpoint of the bound-derived interval.
+	var bSum float64
+	bCount := 0
+	for t := 0; t < n; t++ {
+		if alpha[t] > 1e-9 && alpha[t] < cfg.C-1e-9 {
+			bSum += -y[t] * grad[t]
+			bCount++
+		}
+	}
+	var bias float64
+	if bCount > 0 {
+		bias = bSum / float64(bCount)
+	} else {
+		lo, hi := math.Inf(-1), math.Inf(1)
+		for t := 0; t < n; t++ {
+			v := -y[t] * grad[t]
+			if (y[t] > 0 && alpha[t] < cfg.C) || (y[t] < 0 && alpha[t] > 0) {
+				if v < hi {
+					hi = v
+				}
+			}
+			if (y[t] > 0 && alpha[t] > 0) || (y[t] < 0 && alpha[t] < cfg.C) {
+				if v > lo {
+					lo = v
+				}
+			}
+		}
+		bias = (lo + hi) / 2
+	}
+
+	model := &BinarySVC{kernel: k, bias: bias, iters: iters, trained: true}
+	for t := 0; t < n; t++ {
+		if alpha[t] > 1e-9 {
+			model.svX = append(model.svX, xs[t])
+			model.svCoef = append(model.svCoef, alpha[t]*y[t])
+		}
+	}
+	model.nSV = len(model.svX)
+	if model.nSV == 0 {
+		return nil, fmt.Errorf("svm: training produced no support vectors")
+	}
+	return model, nil
+}
+
+// Decision returns the signed decision value f(x) = Σ α_i y_i k(x_i, x) + b.
+func (m *BinarySVC) Decision(x []float64) float64 {
+	var s float64
+	for i, sv := range m.svX {
+		s += m.svCoef[i] * m.kernel.Eval(sv, x)
+	}
+	return s + m.bias
+}
+
+// Predict returns +1 or -1.
+func (m *BinarySVC) Predict(x []float64) int {
+	if m.Decision(x) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// NumSV returns the support vector count.
+func (m *BinarySVC) NumSV() int { return m.nSV }
+
+// Iterations returns the SMO pair updates used in training.
+func (m *BinarySVC) Iterations() int { return m.iters }

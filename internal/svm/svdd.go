@@ -1,0 +1,206 @@
+package svm
+
+import (
+	"fmt"
+	"math"
+)
+
+// SVDDConfig parameterizes Support Vector Domain Description.
+type SVDDConfig struct {
+	// Nu bounds the fraction of training samples allowed outside the
+	// sphere (outlier budget); C = 1/(Nu·n).
+	Nu float64
+	// Tol is the stopping tolerance on the KKT violation gap.
+	Tol float64
+	// MaxIter bounds SMO pair updates; <= 0 means a generous default.
+	MaxIter int
+	// RadiusSlack inflates the learned radius R² by this relative margin
+	// at decision time, trading false rejections against spoofer leakage.
+	RadiusSlack float64
+}
+
+// DefaultSVDDConfig matches the paper's single-registration regime: a small
+// outlier budget and a modest decision slack.
+func DefaultSVDDConfig() SVDDConfig {
+	return SVDDConfig{Nu: 0.05, Tol: 1e-4, MaxIter: 0, RadiusSlack: 0.65}
+}
+
+// SVDD is a trained one-class domain description (Tax & Duin): the minimal
+// hypersphere in kernel space containing the target class, with slack. The
+// dual solved is
+//
+//	max Σ_i α_i K_ii − Σ_ij α_i α_j K_ij,  0 ≤ α_i ≤ C,  Σ_i α_i = 1.
+type SVDD struct {
+	kernel  Kernel
+	svX     [][]float64
+	svAlpha []float64
+	radius2 float64
+	sphereK float64 // Σ_ij α_i α_j K_ij over support vectors
+	slack   float64
+	iters   int
+}
+
+// TrainSVDD fits the domain description on the target-class samples xs.
+func TrainSVDD(k Kernel, xs [][]float64, cfg SVDDConfig) (*SVDD, error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, fmt.Errorf("svm: empty SVDD training set")
+	}
+	if cfg.Nu <= 0 || cfg.Nu > 1 {
+		return nil, fmt.Errorf("svm: SVDD nu=%g outside (0, 1]", cfg.Nu)
+	}
+	c := 1 / (cfg.Nu * float64(n))
+	if c < 1.0/float64(n) {
+		c = 1.0 / float64(n)
+	}
+	tol := cfg.Tol
+	if tol <= 0 {
+		tol = 1e-4
+	}
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = 200 * n
+		if maxIter < 20000 {
+			maxIter = 20000
+		}
+	}
+
+	g := gram(k, xs)
+	alpha := make([]float64, n)
+	// Feasible start: uniform weights summing to one.
+	for i := range alpha {
+		alpha[i] = 1 / float64(n)
+	}
+	if 1/float64(n) > c {
+		return nil, fmt.Errorf("svm: SVDD box C=%g infeasible for n=%d", c, n)
+	}
+	// Minimize f(α) = Σ_ij α_iα_jK_ij − Σ_i α_iK_ii.
+	// grad_i = 2Σ_j α_jK_ij − K_ii.
+	grad := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := -g[i*n+i]
+		for j := 0; j < n; j++ {
+			s += 2 * alpha[j] * g[i*n+j]
+		}
+		grad[i] = s
+	}
+
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		// Transfer mass from the worst I_low (α>0, large gradient) sample
+		// to the best I_up (α<C, small gradient) sample.
+		up, low := -1, -1
+		gUpMin, gLowMax := math.Inf(1), math.Inf(-1)
+		for t := 0; t < n; t++ {
+			if alpha[t] < c-1e-15 && grad[t] < gUpMin {
+				gUpMin, up = grad[t], t
+			}
+			if alpha[t] > 1e-15 && grad[t] > gLowMax {
+				gLowMax, low = grad[t], t
+			}
+		}
+		if up < 0 || low < 0 || up == low || gLowMax-gUpMin < tol {
+			break
+		}
+		quad := 2 * (g[up*n+up] + g[low*n+low] - 2*g[up*n+low])
+		if quad <= 1e-12 {
+			quad = 1e-12
+		}
+		delta := (gLowMax - gUpMin) / quad
+		if delta > alpha[low] {
+			delta = alpha[low]
+		}
+		if delta > c-alpha[up] {
+			delta = c - alpha[up]
+		}
+		if delta <= 0 {
+			break
+		}
+		alpha[up] += delta
+		alpha[low] -= delta
+		for t := 0; t < n; t++ {
+			grad[t] += 2 * delta * (g[up*n+t] - g[low*n+t])
+		}
+	}
+
+	// Collect support vectors and the sphere constant Σα_iα_jK_ij.
+	model := &SVDD{kernel: k, slack: cfg.RadiusSlack, iters: iters}
+	idx := make([]int, 0, n)
+	for t := 0; t < n; t++ {
+		if alpha[t] > 1e-12 {
+			idx = append(idx, t)
+			model.svX = append(model.svX, xs[t])
+			model.svAlpha = append(model.svAlpha, alpha[t])
+		}
+	}
+	if len(idx) == 0 {
+		return nil, fmt.Errorf("svm: SVDD produced no support vectors")
+	}
+	var sphere float64
+	for _, ia := range idx {
+		for _, ib := range idx {
+			sphere += alpha[ia] * alpha[ib] * g[ia*n+ib]
+		}
+	}
+	model.sphereK = sphere
+
+	// R² from boundary support vectors (0 < α < C); fall back to the
+	// maximum distance among support vectors.
+	var r2Sum float64
+	r2Count := 0
+	for _, t := range idx {
+		if alpha[t] < c-1e-9 {
+			r2Sum += model.distance2At(xs[t])
+			r2Count++
+		}
+	}
+	if r2Count > 0 {
+		model.radius2 = r2Sum / float64(r2Count)
+	} else {
+		worst := 0.0
+		for _, t := range idx {
+			if d := model.distance2At(xs[t]); d > worst {
+				worst = d
+			}
+		}
+		model.radius2 = worst
+	}
+	return model, nil
+}
+
+// distance2At computes ‖φ(x) − a‖² = K(x,x) − 2Σα_iK(x_i,x) + Σα_iα_jK_ij.
+func (m *SVDD) distance2At(x []float64) float64 {
+	var cross float64
+	for i, sv := range m.svX {
+		cross += m.svAlpha[i] * m.kernel.Eval(sv, x)
+	}
+	return m.kernel.Eval(x, x) - 2*cross + m.sphereK
+}
+
+// Distance2 returns the squared kernel-space distance from x to the sphere
+// center.
+func (m *SVDD) Distance2(x []float64) float64 { return m.distance2At(x) }
+
+// Radius2 returns the learned squared radius R².
+func (m *SVDD) Radius2() float64 { return m.radius2 }
+
+// Accept reports whether x falls inside the (slack-inflated) sphere — i.e.
+// whether the sample looks like the target class.
+func (m *SVDD) Accept(x []float64) bool {
+	return m.distance2At(x) <= m.radius2*(1+m.slack)
+}
+
+// Score returns a signed acceptance margin: positive inside the sphere,
+// negative outside, normalized by R².
+func (m *SVDD) Score(x []float64) float64 {
+	if m.radius2 <= 0 {
+		return 0
+	}
+	return 1 - m.distance2At(x)/(m.radius2*(1+m.slack))
+}
+
+// NumSV returns the support vector count.
+func (m *SVDD) NumSV() int { return len(m.svX) }
+
+// Iterations returns the solver pair updates used in training.
+func (m *SVDD) Iterations() int { return m.iters }
