@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test vet race bench bench-ci bench-report ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector sweep over every package; the concurrency property tests
+# (plan reuse, pooled extraction, worker-pool shutdown) are written for this.
+race:
+	$(GO) vet ./... && $(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# One iteration per benchmark: cheap smoke run for CI, catches benchmarks
+# that no longer compile or that fail their internal assertions.
+bench-ci:
+	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem .
+
+# Append a labelled benchmark run to BENCH_1.json (see EXPERIMENTS.md).
+bench-report:
+	$(GO) run ./cmd/bench-report -benchtime 1x -o BENCH_1.json -label local -append
+
+ci: vet test bench-ci

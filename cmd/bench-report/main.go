@@ -1,0 +1,167 @@
+// Command bench-report runs the repository benchmark suite and records the
+// results as JSON, so successive optimization PRs can be compared against
+// earlier runs (see BENCH_1.json at the repo root).
+//
+// Usage:
+//
+//	bench-report -bench 'BenchmarkFigure8|BenchmarkImagingPlan' -o BENCH_1.json -label post-plan
+//	bench-report -append -o BENCH_1.json -label retest
+//
+// With -append the existing file is loaded and the new run is added to its
+// run list; otherwise the file is overwritten with a single-run report.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Report is the top-level BENCH_*.json document.
+type Report struct {
+	Schema string `json:"schema"`
+	Runs   []Run  `json:"runs"`
+}
+
+// Run is one invocation of the benchmark suite.
+type Run struct {
+	Label      string      `json:"label"`
+	Date       string      `json:"date"`
+	Go         string      `json:"go"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one parsed result line from `go test -bench`.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+const schemaID = "echoimage-bench/v1"
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench-report:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	bench := flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "1x", "value passed to go test -benchtime")
+	count := flag.Int("count", 1, "value passed to go test -count")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	out := flag.String("o", "BENCH_1.json", "output JSON file")
+	label := flag.String("label", "", "label recorded for this run (default: current date)")
+	appendRun := flag.Bool("append", false, "append to an existing report instead of overwriting")
+	flag.Parse()
+
+	name := *label
+	if name == "" {
+		name = time.Now().UTC().Format("2006-01-02")
+	}
+
+	raw, err := runBenchmarks(*pkg, *bench, *benchtime, *count)
+	if err != nil {
+		return err
+	}
+	benches, cpu := parseBenchOutput(raw)
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark result lines matched %q", *bench)
+	}
+
+	rep := Report{Schema: schemaID}
+	if *appendRun {
+		if prev, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(prev, &rep); err != nil {
+				return fmt.Errorf("parse existing %s: %w", *out, err)
+			}
+			if rep.Schema != schemaID {
+				return fmt.Errorf("%s has schema %q, want %q", *out, rep.Schema, schemaID)
+			}
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+		rep.Schema = schemaID
+	}
+	rep.Runs = append(rep.Runs, Run{
+		Label:      name,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Go:         runtime.Version(),
+		CPU:        cpu,
+		Benchmarks: benches,
+	})
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: run %q with %d benchmarks\n", *out, name, len(benches))
+	return nil
+}
+
+// runBenchmarks shells out to go test and returns the combined output.
+// Benchmark failures surface as a non-nil error with the output attached.
+func runBenchmarks(pkg, bench, benchtime string, count int) (string, error) {
+	args := []string{
+		"test", "-run", "^$",
+		"-bench", bench,
+		"-benchtime", benchtime,
+		"-count", strconv.Itoa(count),
+		"-benchmem",
+		pkg,
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out), nil
+}
+
+// benchLine matches `BenchmarkName-8  10  123456 ns/op  42 B/op  7 allocs/op`
+// (the memory columns are optional).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func parseBenchOutput(out string) ([]Benchmark, string) {
+	var benches []Benchmark
+	var cpu string
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if v, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = v
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		b := Benchmark{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			b.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			b.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		benches = append(benches, b)
+	}
+	return benches, cpu
+}

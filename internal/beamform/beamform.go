@@ -55,14 +55,25 @@ func EstimateCovariance(x [][]complex128, start, end int, loading float64) (*cma
 	if start >= end {
 		return nil, fmt.Errorf("beamform: empty covariance range [%d, %d)", start, end)
 	}
+	// Dimensions were validated above, so the outer products accumulate
+	// without any per-sample error path. Only the upper triangle is
+	// summed; the strict lower triangle is its exact conjugate mirror.
 	cov := cmat.New(m, m)
-	snap := make([]complex128, m)
+	data := cov.Data
 	for t := start; t < end; t++ {
-		for c := 0; c < m; c++ {
-			snap[c] = x[c][t]
+		for i := 0; i < m; i++ {
+			xi := x[i][t]
+			row := data[i*m : (i+1)*m]
+			for j := i; j < m; j++ {
+				xj := x[j][t]
+				row[j] += xi * complex(real(xj), -imag(xj))
+			}
 		}
-		if err := cmat.OuterAccumulate(cov, snap); err != nil {
-			return nil, err
+	}
+	for i := 1; i < m; i++ {
+		for j := 0; j < i; j++ {
+			v := data[j*m+i]
+			data[i*m+j] = complex(real(v), -imag(v))
 		}
 	}
 	cov.Scale(complex(1/float64(end-start), 0))
@@ -216,11 +227,11 @@ func (b *Beamformer) WeightsFor(d array.Direction) ([]complex128, error) {
 	if cmplx.Abs(den) < 1e-30 {
 		return nil, fmt.Errorf("beamform: degenerate MVDR denominator at θ=%.3f φ=%.3f", d.Azimuth, d.Elevation)
 	}
-	w := make([]complex128, len(num))
+	// num is freshly allocated by MulVec; normalize it in place.
 	for i, v := range num {
-		w[i] = v / den
+		num[i] = v / den
 	}
-	return w, nil
+	return num, nil
 }
 
 // Steer beamforms the analytic channels toward direction d with MVDR

@@ -249,7 +249,7 @@ func TestSystemRejectsGarbageCapture(t *testing.T) {
 
 func TestEdgeBiasPositive(t *testing.T) {
 	cfg := DefaultConfig()
-	if b := edgeBias(cfg); b <= 0 || b > cfg.Chirp.Duration {
+	if b := edgeBias(cfg, chirpFilterPlan(cfg.Chirp)); b <= 0 || b > cfg.Chirp.Duration {
 		t.Errorf("edge bias %g outside (0, %g]", b, cfg.Chirp.Duration)
 	}
 }

@@ -35,6 +35,9 @@ type DistanceEstimate struct {
 type DistanceEstimator struct {
 	cfg Config
 	arr *array.Array
+	// mf carries the cached probe-template spectrum shared by every
+	// matched filter this estimator runs.
+	mf *dsp.MatchedFilterPlan
 	// edgeBiasSec is the rise time of the compressed pulse from the 25%
 	// envelope level to its peak. A leading-edge detector fires that much
 	// before the scatterer's true delay; estimates add it back.
@@ -49,18 +52,19 @@ func NewDistanceEstimator(cfg Config, arr *array.Array) (*DistanceEstimator, err
 	if arr == nil {
 		return nil, fmt.Errorf("core: nil array")
 	}
+	mf := chirpFilterPlan(cfg.Chirp)
 	return &DistanceEstimator{
 		cfg:         cfg,
 		arr:         arr,
-		edgeBiasSec: edgeBias(cfg),
+		mf:          mf,
+		edgeBiasSec: edgeBias(cfg, mf),
 	}, nil
 }
 
 // edgeBias measures, on the template's own autocorrelation envelope, how
 // far the 25%-level leading edge precedes the envelope peak.
-func edgeBias(cfg Config) float64 {
-	template := cfg.Chirp.Samples()
-	corr := dsp.CrossCorrelate(template, template)
+func edgeBias(cfg Config, mf *dsp.MatchedFilterPlan) float64 {
+	corr := mf.CrossCorrelate(mf.Template())
 	env := dsp.Envelope(corr)
 	peak := dsp.ArgMax(env)
 	if peak <= 0 {
@@ -94,7 +98,6 @@ func (e *DistanceEstimator) Estimate(cap *Capture, noiseOnly [][]float64) (*Dist
 // output — the baseline the paper argues against, kept for ablation.
 func (e *DistanceEstimator) estimate(fs float64, p *preprocessed, useBeamforming bool) (*DistanceEstimate, error) {
 	cfg := e.cfg
-	template := cfg.Chirp.Samples()
 
 	bf, err := beamform.New(e.arr, p.noiseCov, cfg.CenterFreqHz())
 	if err != nil {
@@ -115,7 +118,7 @@ func (e *DistanceEstimator) estimate(fs float64, p *preprocessed, useBeamforming
 		} else {
 			signal = beamform.RealPart(chans[0])
 		}
-		corr := dsp.MatchedFilter(signal, template)
+		corr := e.mf.MatchedFilter(signal)
 		env := dsp.Envelope(corr)
 		for i, v := range env {
 			sum[i] += v * v

@@ -57,6 +57,280 @@ func NewImager(cfg Config, arr *array.Array) (*Imager, error) {
 	return &Imager{cfg: cfg, arr: arr}, nil
 }
 
+// ImagingPlan precomputes everything about one (grid geometry, noise
+// covariance, plane distance) triple that is invariant across the L beeps
+// of a capture: the per-pixel steering directions, the conjugated MVDR
+// weight vectors, their squared norms ‖w‖² (for noise-floor subtraction),
+// and the segment sample windows around each grid's expected round-trip
+// delay. Rendering a beep through a plan therefore performs only the
+// energy integration — the K weight solves happen once instead of K·L
+// times.
+//
+// A plan is immutable after construction and safe for concurrent use.
+type ImagingPlan struct {
+	cfg         Config
+	fs          float64
+	samples     int
+	mics        int
+	rows, cols  int
+	planeDist   float64
+	emissionSec float64
+
+	dirs        []array.Direction
+	weightsConj [][]complex128
+	wNormSq     []float64
+	lo, hi      []int
+}
+
+// NewImagingPlan solves the MVDR weights and segment windows for every
+// pixel of cfg's grid, steering the given beamformer. fs and samples
+// describe the beep windows the plan will render; planeDist is D_p and
+// emissionSec the beep emission time within each window.
+func NewImagingPlan(cfg Config, bf *beamform.Beamformer, fs float64, samples int, planeDist, emissionSec float64) (*ImagingPlan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if bf == nil {
+		return nil, fmt.Errorf("core: nil beamformer")
+	}
+	return buildImagingPlan(cfg, bf.WeightsFor, fs, samples, planeDist, emissionSec)
+}
+
+// buildImagingPlan fans the grid rows over a worker pool, solving weights
+// via solve. The row feed selects on a done channel so that a failing
+// solver can never strand the producer on an unbuffered send (all workers
+// gone, nobody left to receive).
+func buildImagingPlan(cfg Config, solve func(array.Direction) ([]complex128, error), fs float64, samples int, planeDist, emissionSec float64) (*ImagingPlan, error) {
+	if planeDist <= 0 {
+		return nil, fmt.Errorf("core: plane distance %g <= 0", planeDist)
+	}
+	if fs <= 0 {
+		return nil, fmt.Errorf("core: sample rate %g <= 0", fs)
+	}
+	if samples < 1 {
+		return nil, fmt.Errorf("core: plan over %d samples", samples)
+	}
+	guard := int(cfg.SegmentGuardSec * fs)
+	if guard < 1 {
+		guard = 1
+	}
+	k := cfg.GridRows * cfg.GridCols
+	p := &ImagingPlan{
+		cfg:         cfg,
+		fs:          fs,
+		samples:     samples,
+		rows:        cfg.GridRows,
+		cols:        cfg.GridCols,
+		planeDist:   planeDist,
+		emissionSec: emissionSec,
+		dirs:        make([]array.Direction, k),
+		weightsConj: make([][]complex128, k),
+		wNormSq:     make([]float64, k),
+		lo:          make([]int, k),
+		hi:          make([]int, k),
+	}
+
+	workers := effectiveWorkers(cfg.Workers, p.rows)
+	rowCh := make(chan int)
+	errCh := make(chan error, 1)
+	done := make(chan struct{})
+	var closeOnce sync.Once
+	fail := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+		closeOnce.Do(func() { close(done) })
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range rowCh {
+				if err := p.planRow(solve, r, guard); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for r := 0; r < p.rows; r++ {
+		select {
+		case rowCh <- r:
+		case <-done:
+			break feed
+		}
+	}
+	close(rowCh)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	p.mics = len(p.weightsConj[0])
+	return p, nil
+}
+
+// planRow solves one grid row: direction, MVDR weights and segment window
+// for each pixel.
+func (p *ImagingPlan) planRow(solve func(array.Direction) ([]complex128, error), r, guard int) error {
+	for c := 0; c < p.cols; c++ {
+		k := r*p.cols + c
+		center := p.gridCenter(r, c)
+		dk := center.Norm()
+		// Ω_k = {θ_k, φ_k} from Eq. 11–12: arccos(x/√(x²+D_p²)) and
+		// arccos(z/D_k). DirectionTo produces the identical angles via
+		// atan2/acos.
+		dir := array.DirectionTo(center)
+		w, err := solve(dir)
+		if err != nil {
+			return err
+		}
+		// The solver returns a fresh vector; conjugate it in place.
+		var w2 float64
+		for m, wm := range w {
+			w[m] = complex(real(wm), -imag(wm))
+			w2 += real(wm)*real(wm) + imag(wm)*imag(wm)
+		}
+		wc := w
+		// Segment around the expected round trip 2·D_k/c (±d′).
+		centerIdx := int((p.emissionSec + 2*dk/array.SpeedOfSound) * p.fs)
+		lo := centerIdx - guard
+		hi := centerIdx + guard
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > p.samples {
+			hi = p.samples
+		}
+		p.dirs[k] = dir
+		p.weightsConj[k] = wc
+		p.wNormSq[k] = w2
+		p.lo[k] = lo
+		p.hi[k] = hi
+	}
+	return nil
+}
+
+// gridCenter mirrors AcousticImage.GridCenter for the plan's geometry.
+func (p *ImagingPlan) gridCenter(r, c int) array.Vec3 {
+	x := (float64(c) - float64(p.cols-1)/2) * p.cfg.GridSpacingM
+	z := (float64(p.rows-1)/2-float64(r))*p.cfg.GridSpacingM + p.cfg.PlaneCenterZM
+	return array.Vec3{X: x, Y: p.planeDist, Z: z}
+}
+
+// Direction returns the precomputed steering direction of the pixel at
+// image row r, column c.
+func (p *ImagingPlan) Direction(r, c int) array.Direction { return p.dirs[r*p.cols+c] }
+
+// newImage allocates an image carrying the plan's geometry.
+func (p *ImagingPlan) newImage() *AcousticImage {
+	return &AcousticImage{
+		Image:         aimage.New(p.rows, p.cols),
+		PlaneDistM:    p.planeDist,
+		GridSpacingM:  p.cfg.GridSpacingM,
+		PlaneCenterZM: p.cfg.PlaneCenterZM,
+	}
+}
+
+// validateChans checks an analytic capture window against the plan.
+func (p *ImagingPlan) validateChans(chans [][]complex128) error {
+	if len(chans) != p.mics {
+		return fmt.Errorf("core: plan built for %d mics, got %d channels", p.mics, len(chans))
+	}
+	for m, ch := range chans {
+		if len(ch) != p.samples {
+			return fmt.Errorf("core: plan built for %d samples, channel %d has %d", p.samples, m, len(ch))
+		}
+	}
+	return nil
+}
+
+// Render images one beep's analytic channels through the plan. refRMS
+// calibrates pixel values against the direct-path level (pass 0 to measure
+// it from chans); noisePower is subtracted from each pixel as the expected
+// beamformed noise energy.
+func (p *ImagingPlan) Render(chans [][]complex128, refRMS, noisePower float64) (*AcousticImage, error) {
+	if err := p.validateChans(chans); err != nil {
+		return nil, err
+	}
+	ai := p.newImage()
+	workers := effectiveWorkers(p.cfg.Workers, p.rows)
+	if workers <= 1 {
+		for r := 0; r < p.rows; r++ {
+			p.renderRow(chans, ai, r, noisePower)
+		}
+	} else {
+		rowCh := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for r := range rowCh {
+					p.renderRow(chans, ai, r, noisePower)
+				}
+			}()
+		}
+		for r := 0; r < p.rows; r++ {
+			rowCh <- r
+		}
+		close(rowCh)
+		wg.Wait()
+	}
+	p.normalize(chans, ai, refRMS)
+	return ai, nil
+}
+
+// renderRow integrates all pixels of image row r: energy of wᴴ·x(t) over
+// the precomputed segment window, minus the expected beamformed noise
+// floor. With the weights solved at plan time this is pure arithmetic and
+// cannot fail.
+func (p *ImagingPlan) renderRow(chans [][]complex128, ai *AcousticImage, r int, noisePower float64) {
+	base := r * p.cols
+	for c := 0; c < p.cols; c++ {
+		k := base + c
+		lo, hi := p.lo[k], p.hi[k]
+		var energy float64
+		if lo < hi {
+			wc := p.weightsConj[k]
+			for t := lo; t < hi; t++ {
+				var s complex128
+				for m := range chans {
+					// wᴴ·x(t) accumulated without allocating.
+					s += wc[m] * chans[m][t]
+				}
+				energy += real(s)*real(s) + imag(s)*imag(s)
+			}
+			// Noise-floor subtraction: remove the expected beamformed
+			// noise energy (spatially white noise passes with gain ‖w‖²)
+			// so interference raises pixel variance, not pixel bias.
+			energy -= noisePower * p.wNormSq[k] * float64(hi-lo)
+			if energy < 0 {
+				energy = 0
+			}
+		}
+		ai.Set(r, c, math.Sqrt(energy))
+	}
+}
+
+// normalize calibrates pixel values against the direct-path RMS.
+func (p *ImagingPlan) normalize(chans [][]complex128, ai *AcousticImage, refRMS float64) {
+	ref := refRMS
+	if ref <= 0 {
+		ref = directPathReference(p.fs, p.cfg, chans, p.emissionSec)
+	}
+	if ref > 0 {
+		inv := 1 / ref
+		for i := range ai.Pix {
+			ai.Pix[i] *= inv
+		}
+	}
+}
+
 // ConstructAll images every beep of a capture at plane distance planeDist
 // (normally the ranging output D_p). emissionSec is the beep emission time
 // within each window (from DistanceEstimate.EmissionSec); pass 0 when the
@@ -65,10 +339,18 @@ func NewImager(cfg Config, arr *array.Array) (*Imager, error) {
 // With Config.ImagingSubBands > 1 each returned image additionally carries
 // per-sub-band images (frequency-diverse imaging).
 func (im *Imager) ConstructAll(cap *Capture, planeDist, emissionSec float64, noiseOnly [][]float64) ([]*AcousticImage, error) {
+	return im.constructAll(cap, planeDist, emissionSec, noiseOnly, nil)
+}
+
+// constructAll runs the full-band pass (reusing pre, the already
+// preprocessed full-band capture, when the caller — typically
+// System.Process after ranging — provides it) and then the optional
+// sub-band passes, which always preprocess with their own filters.
+func (im *Imager) constructAll(cap *Capture, planeDist, emissionSec float64, noiseOnly [][]float64, pre *preprocessed) ([]*AcousticImage, error) {
 	if planeDist <= 0 {
 		return nil, fmt.Errorf("core: plane distance %g <= 0", planeDist)
 	}
-	out, err := im.constructBand(cap, im.cfg, planeDist, emissionSec, noiseOnly, nil)
+	out, err := im.constructBand(cap, im.cfg, planeDist, emissionSec, noiseOnly, nil, pre)
 	if err != nil {
 		return nil, err
 	}
@@ -86,44 +368,73 @@ func (im *Imager) ConstructAll(cap *Capture, planeDist, emissionSec float64, noi
 		if sub.FilterOrder > 2 {
 			sub.FilterOrder = 2
 		}
-		if _, err := im.constructBand(cap, sub, planeDist, emissionSec, noiseOnly, out); err != nil {
+		if _, err := im.constructBand(cap, sub, planeDist, emissionSec, noiseOnly, out, nil); err != nil {
 			return nil, fmt.Errorf("core: sub-band %d: %w", b, err)
 		}
 	}
 	return out, nil
 }
 
-// constructBand images every beep within one frequency band. When attach is
-// nil a fresh image slice is returned; otherwise the band images are
-// appended to attach[l].Bands.
-func (im *Imager) constructBand(cap *Capture, cfg Config, planeDist, emissionSec float64, noiseOnly [][]float64, attach []*AcousticImage) ([]*AcousticImage, error) {
-	p, err := preprocess(cfg, cap, noiseOnly)
-	if err != nil {
-		return nil, err
+// constructBand images every beep within one frequency band. The band's
+// imaging plan is built once and shared across all beeps, and the (beep,
+// row) work items of the whole band are batched over a single worker pool
+// rather than spawning one pool per beep. When attach is nil a fresh image
+// slice is returned; otherwise the band images are appended to
+// attach[l].Bands.
+func (im *Imager) constructBand(cap *Capture, cfg Config, planeDist, emissionSec float64, noiseOnly [][]float64, attach []*AcousticImage, pre *preprocessed) ([]*AcousticImage, error) {
+	p := pre
+	if p == nil {
+		var err error
+		p, err = preprocess(cfg, cap, noiseOnly)
+		if err != nil {
+			return nil, err
+		}
 	}
 	bf, err := beamform.New(im.arr, p.noiseCov, cfg.CenterFreqHz())
 	if err != nil {
 		return nil, err
 	}
-	if attach != nil {
-		for l, chans := range p.analytic {
-			img, err := im.constructOne(cfg, cap.SampleRate, bf, chans, planeDist, emissionSec, p.refRMS, p.noisePower)
-			if err != nil {
-				return nil, fmt.Errorf("core: image for beep %d: %w", l, err)
+	plan, err := buildImagingPlan(cfg, bf.WeightsFor, cap.SampleRate, p.samples, planeDist, emissionSec)
+	if err != nil {
+		return nil, err
+	}
+
+	beeps := len(p.analytic)
+	imgs := make([]*AcousticImage, beeps)
+	for l := range imgs {
+		imgs[l] = plan.newImage()
+	}
+	type rowTask struct{ beep, row int }
+	workers := effectiveWorkers(cfg.Workers, beeps*plan.rows)
+	tasks := make(chan rowTask)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				plan.renderRow(p.analytic[t.beep], imgs[t.beep], t.row, p.noisePower)
 			}
-			attach[l].Bands = append(attach[l].Bands, img.Image)
+		}()
+	}
+	for l := 0; l < beeps; l++ {
+		for r := 0; r < plan.rows; r++ {
+			tasks <- rowTask{beep: l, row: r}
+		}
+	}
+	close(tasks)
+	wg.Wait()
+	for l, img := range imgs {
+		plan.normalize(p.analytic[l], img, p.refRMS)
+	}
+
+	if attach != nil {
+		for l := range attach {
+			attach[l].Bands = append(attach[l].Bands, imgs[l].Image)
 		}
 		return attach, nil
 	}
-	out := make([]*AcousticImage, len(p.analytic))
-	for l, chans := range p.analytic {
-		img, err := im.constructOne(cfg, cap.SampleRate, bf, chans, planeDist, emissionSec, p.refRMS, p.noisePower)
-		if err != nil {
-			return nil, fmt.Errorf("core: image for beep %d: %w", l, err)
-		}
-		out[l] = img
-	}
-	return out, nil
+	return imgs, nil
 }
 
 // directPathReference measures the RMS of the analytic channels over the
@@ -154,120 +465,18 @@ func directPathReference(fs float64, cfg Config, chans [][]complex128, emissionS
 	return math.Sqrt(energy / float64(len(chans)*(hi-lo)))
 }
 
-// constructOne renders one beep's acoustic image. Grid rows are distributed
-// over a worker pool; each worker steers and integrates its rows
-// independently.
-func (im *Imager) constructOne(cfg Config, fs float64, bf *beamform.Beamformer, chans [][]complex128, planeDist, emissionSec, refRMS, noisePower float64) (*AcousticImage, error) {
-	ai := &AcousticImage{
-		Image:         aimage.New(cfg.GridRows, cfg.GridCols),
-		PlaneDistM:    planeDist,
-		GridSpacingM:  cfg.GridSpacingM,
-		PlaneCenterZM: cfg.PlaneCenterZM,
+// effectiveWorkers clamps a configured worker count (0 = GOMAXPROCS) to
+// the number of available tasks.
+func effectiveWorkers(configured, tasks int) int {
+	w := configured
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
 	}
-	samples := len(chans[0])
-	guard := int(cfg.SegmentGuardSec * fs)
-	if guard < 1 {
-		guard = 1
+	if w > tasks {
+		w = tasks
 	}
-
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if w < 1 {
+		w = 1
 	}
-	if workers > cfg.GridRows {
-		workers = cfg.GridRows
-	}
-
-	rowCh := make(chan int)
-	errCh := make(chan error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for r := range rowCh {
-				if err := im.renderRow(fs, bf, chans, ai, r, guard, emissionSec, samples, noisePower); err != nil {
-					select {
-					case errCh <- err:
-					default:
-					}
-					return
-				}
-			}
-		}()
-	}
-	for r := 0; r < cfg.GridRows; r++ {
-		rowCh <- r
-	}
-	close(rowCh)
-	wg.Wait()
-	select {
-	case err := <-errCh:
-		return nil, err
-	default:
-	}
-	ref := refRMS
-	if ref <= 0 {
-		ref = directPathReference(fs, cfg, chans, emissionSec)
-	}
-	if ref > 0 {
-		inv := 1 / ref
-		for i := range ai.Pix {
-			ai.Pix[i] *= inv
-		}
-	}
-	return ai, nil
+	return w
 }
-
-// renderRow computes all pixels of image row r.
-func (im *Imager) renderRow(fs float64, bf *beamform.Beamformer, chans [][]complex128, ai *AcousticImage, r, guard int, emissionSec float64, samples int, noisePower float64) error {
-	for c := 0; c < ai.Cols; c++ {
-		center := ai.GridCenter(r, c)
-		dk := center.Norm()
-		// Ω_k = {θ_k, φ_k} from Eq. 11–12: arccos(x/√(x²+D_p²)) and
-		// arccos(z/D_k). DirectionTo produces the identical angles via
-		// atan2/acos.
-		dir := array.DirectionTo(center)
-
-		w, err := bf.WeightsFor(dir)
-		if err != nil {
-			return err
-		}
-		// Segment around the expected round trip 2·D_k/c (±d′).
-		centerIdx := int((emissionSec + 2*dk/array.SpeedOfSound) * fs)
-		lo := centerIdx - guard
-		hi := centerIdx + guard
-		if lo < 0 {
-			lo = 0
-		}
-		if hi > samples {
-			hi = samples
-		}
-		var energy float64
-		if lo < hi {
-			for t := lo; t < hi; t++ {
-				var s complex128
-				for m := range chans {
-					// wᴴ·x(t) accumulated without allocating.
-					s += conj(w[m]) * chans[m][t]
-				}
-				energy += real(s)*real(s) + imag(s)*imag(s)
-			}
-			// Noise-floor subtraction: remove the expected beamformed
-			// noise energy (spatially white noise passes with gain ‖w‖²)
-			// so interference raises pixel variance, not pixel bias.
-			var w2 float64
-			for _, wm := range w {
-				w2 += real(wm)*real(wm) + imag(wm)*imag(wm)
-			}
-			energy -= noisePower * w2 * float64(hi-lo)
-			if energy < 0 {
-				energy = 0
-			}
-		}
-		ai.Set(r, c, math.Sqrt(energy))
-	}
-	return nil
-}
-
-func conj(v complex128) complex128 { return complex(real(v), -imag(v)) }

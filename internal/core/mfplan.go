@@ -1,0 +1,26 @@
+package core
+
+import (
+	"sync"
+
+	"echoimage/internal/chirp"
+	"echoimage/internal/dsp"
+)
+
+// chirpPlans caches one matched-filter plan per probe chirp. Every stage
+// that correlates against the probe — ranging on each beamformed beep, the
+// background-reference direct-path search, the edge-bias calibration —
+// shares the cached template spectrum instead of re-FFTing the template
+// per call. chirp.Params is a comparable value type, so it keys the cache
+// directly.
+var chirpPlans sync.Map // chirp.Params -> *dsp.MatchedFilterPlan
+
+// chirpFilterPlan returns the (possibly shared) matched-filter plan for
+// the given probe chirp.
+func chirpFilterPlan(p chirp.Params) *dsp.MatchedFilterPlan {
+	if v, ok := chirpPlans.Load(p); ok {
+		return v.(*dsp.MatchedFilterPlan)
+	}
+	v, _ := chirpPlans.LoadOrStore(p, dsp.NewMatchedFilterPlan(p.Samples()))
+	return v.(*dsp.MatchedFilterPlan)
+}

@@ -58,7 +58,7 @@ func preprocess(cfg Config, cap *Capture, noiseOnly [][]float64) (*preprocessed,
 		// The reference carries the direct path; measure its arrival and
 		// level once for ranging and image calibration.
 		filtered := filter.FiltFilt(cap.Reference[0])
-		env := dsp.Envelope(dsp.MatchedFilter(filtered, cfg.Chirp.Samples()))
+		env := dsp.Envelope(chirpFilterPlan(cfg.Chirp).MatchedFilter(filtered))
 		p.refDirectIdx = dsp.ArgMax(env)
 		lo := p.refDirectIdx
 		hi := lo + int(cfg.Chirp.Duration*cap.SampleRate)

@@ -49,9 +49,16 @@ type ProcessResult struct {
 
 // Process runs ranging followed by imaging on a capture. noiseOnly may be
 // nil (noise statistics fall back to the window tails). The imaging plane
-// distance is the (optionally quantized) ranging estimate.
+// distance is the (optionally quantized) ranging estimate. Ranging and the
+// full-band imaging pass share one preprocessed capture — the bandpass,
+// analytic conversion and noise covariance are computed once, not per
+// stage.
 func (s *System) Process(cap *Capture, noiseOnly [][]float64) (*ProcessResult, error) {
-	dist, err := s.ranger.Estimate(cap, noiseOnly)
+	pre, err := preprocess(s.cfg, cap, noiseOnly)
+	if err != nil {
+		return nil, fmt.Errorf("core: distance estimation: %w", err)
+	}
+	dist, err := s.ranger.estimate(cap.SampleRate, pre, true)
 	if err != nil {
 		return nil, fmt.Errorf("core: distance estimation: %w", err)
 	}
@@ -62,7 +69,7 @@ func (s *System) Process(cap *Capture, noiseOnly [][]float64) (*ProcessResult, e
 			plane = q
 		}
 	}
-	imgs, err := s.imager.ConstructAll(cap, plane, dist.EmissionSec, noiseOnly)
+	imgs, err := s.imager.constructAll(cap, plane, dist.EmissionSec, noiseOnly, pre)
 	if err != nil {
 		return nil, fmt.Errorf("core: image construction: %w", err)
 	}

@@ -8,9 +8,7 @@ package dsp
 
 import (
 	"fmt"
-	"math"
 	"math/bits"
-	"math/cmplx"
 )
 
 // FFT computes the in-place-free discrete Fourier transform of x and returns
@@ -58,86 +56,87 @@ func IFFT(x []complex128) []complex128 {
 	}
 }
 
-// FFTReal transforms a real-valued signal. It is a convenience wrapper that
-// widens to complex128 before calling FFT.
+// FFTReal transforms a real-valued signal. It widens to complex128 and
+// transforms the widened buffer in place, avoiding FFT's defensive copy.
 func FFTReal(x []float64) []complex128 {
-	cx := make([]complex128, len(x))
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	cx := make([]complex128, n)
 	for i, v := range x {
 		cx[i] = complex(v, 0)
 	}
-	return FFT(cx)
+	if n&(n-1) == 0 {
+		fftRadix2(cx, false)
+		return cx
+	}
+	return bluestein(cx, false)
 }
 
 // fftRadix2 runs an iterative radix-2 DIT FFT in place. The length of x must
 // be a power of two. When inverse is true the conjugate transform is
-// computed (without the 1/N scale).
+// computed (without the 1/N scale). Twiddle factors and the bit-reversal
+// permutation come from the per-size plan cache: table lookups keep the
+// butterfly loop free of the serial w *= wStep recurrence and its
+// accumulated rounding error.
 func fftRadix2(x []complex128, inverse bool) {
 	n := len(x)
 	if n <= 1 {
 		return
 	}
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.TrailingZeros(uint(n)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
+	p := fftPlanFor(n)
+	swaps := p.swaps
+	for s := 0; s < len(swaps); s += 2 {
+		i, j := swaps[s], swaps[s+1]
+		x[i], x[j] = x[j], x[i]
 	}
-	sign := -1.0
+	tw := p.fwd
 	if inverse {
-		sign = 1.0
+		tw = p.inv
 	}
-	for size := 2; size <= n; size <<= 1 {
+	// First stage (size 2): twiddle is 1, pure add/sub.
+	for start := 0; start+1 < n; start += 2 {
+		a, b := x[start], x[start+1]
+		x[start] = a + b
+		x[start+1] = a - b
+	}
+	for size := 4; size <= n; size <<= 1 {
 		half := size >> 1
-		step := sign * 2 * math.Pi / float64(size)
-		wStep := cmplx.Rect(1, step)
+		stride := n / size
 		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= wStep
+			ti := 0
+			for k := start; k < start+half; k++ {
+				a := x[k]
+				b := x[k+half] * tw[ti]
+				x[k] = a + b
+				x[k+half] = a - b
+				ti += stride
 			}
 		}
 	}
 }
 
 // bluestein computes an arbitrary-length DFT via the chirp-z transform,
-// re-expressed as a power-of-two convolution.
+// re-expressed as a power-of-two convolution. The chirp factors and the
+// spectrum of the (fixed, per-size) b sequence come from the plan cache, so
+// each call performs two radix-2 transforms over a pooled scratch buffer.
 func bluestein(x []complex128, inverse bool) []complex128 {
 	n := len(x)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	// w[k] = exp(sign * i*pi*k^2/n). Use k^2 mod 2n to keep the argument
-	// bounded for large k.
-	w := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		kk := (int64(k) * int64(k)) % int64(2*n)
-		w[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
-	}
-	m := 1
-	for m < 2*n-1 {
-		m <<= 1
-	}
-	a := make([]complex128, m)
-	b := make([]complex128, m)
+	p := bluesteinPlanFor(n, inverse)
+	w, m := p.w, p.m
+	bufp := p.scratch.Get().(*[]complex128)
+	a := *bufp
 	for k := 0; k < n; k++ {
 		a[k] = x[k] * w[k]
-		bk := cmplx.Conj(w[k])
-		b[k] = bk
-		if k > 0 {
-			b[m-k] = bk
-		}
+	}
+	for k := n; k < m; k++ {
+		a[k] = 0
 	}
 	fftRadix2(a, false)
-	fftRadix2(b, false)
+	bfft := p.bfft
 	for i := range a {
-		a[i] *= b[i]
+		a[i] *= bfft[i]
 	}
 	fftRadix2(a, true)
 	scale := complex(1/float64(m), 0)
@@ -145,6 +144,7 @@ func bluestein(x []complex128, inverse bool) []complex128 {
 	for k := 0; k < n; k++ {
 		out[k] = a[k] * scale * w[k]
 	}
+	p.scratch.Put(bufp)
 	return out
 }
 

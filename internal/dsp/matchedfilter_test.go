@@ -1,0 +1,122 @@
+package dsp
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func randReal(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+// TestMatchedFilterPlanMatchesUnplanned asserts the planned path is
+// bitwise identical to the unplanned functions: same FFT size, same
+// transforms, same scaling.
+func TestMatchedFilterPlanMatchesUnplanned(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	template := randReal(rng, 96)
+	plan := NewMatchedFilterPlan(template)
+	for _, n := range []int{96, 100, 1000, 2640, 4096} {
+		r := randReal(rng, n)
+		gotC := plan.CrossCorrelate(r)
+		wantC := CrossCorrelate(r, template)
+		if len(gotC) != len(wantC) {
+			t.Fatalf("n=%d: correlation length %d != %d", n, len(gotC), len(wantC))
+		}
+		for i := range gotC {
+			if gotC[i] != wantC[i] {
+				t.Fatalf("n=%d: CrossCorrelate lag %d: %g != %g", n, i, gotC[i], wantC[i])
+			}
+		}
+		gotM := plan.MatchedFilter(r)
+		wantM := MatchedFilter(r, template)
+		for i := range gotM {
+			if gotM[i] != wantM[i] {
+				t.Fatalf("n=%d: MatchedFilter sample %d: %g != %g", n, i, gotM[i], wantM[i])
+			}
+		}
+	}
+}
+
+// TestMatchedFilterPlanTemplateCopied ensures later mutation of the
+// template argument does not corrupt the plan.
+func TestMatchedFilterPlanTemplateCopied(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	template := randReal(rng, 64)
+	orig := append([]float64(nil), template...)
+	plan := NewMatchedFilterPlan(template)
+	r := randReal(rng, 500)
+	want := plan.MatchedFilter(r)
+	for i := range template {
+		template[i] = 0
+	}
+	got := plan.MatchedFilter(r)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("mutating the template argument changed plan output at %d", i)
+		}
+	}
+	for i, v := range plan.Template() {
+		if v != orig[i] {
+			t.Fatalf("plan template storage aliased the argument")
+		}
+	}
+}
+
+// TestMatchedFilterPlanEdgeCases covers the empty-input conventions of the
+// unplanned functions.
+func TestMatchedFilterPlanEdgeCases(t *testing.T) {
+	plan := NewMatchedFilterPlan([]float64{1, 2})
+	if out := plan.CrossCorrelate(nil); out != nil {
+		t.Errorf("CrossCorrelate(nil) = %v, want nil", out)
+	}
+	if out := plan.MatchedFilter(nil); len(out) != 0 {
+		t.Errorf("MatchedFilter(nil) length %d, want 0", len(out))
+	}
+	empty := NewMatchedFilterPlan(nil)
+	if out := empty.CrossCorrelate([]float64{1, 2, 3}); out != nil {
+		t.Errorf("empty-template CrossCorrelate = %v, want nil", out)
+	}
+	if out := empty.MatchedFilter([]float64{1, 2, 3}); len(out) != 3 {
+		t.Errorf("empty-template MatchedFilter length %d, want 3", len(out))
+	}
+}
+
+// TestMatchedFilterPlanConcurrent runs one plan from many goroutines over
+// mixed signal lengths; -race verifies the spectrum cache and scratch
+// pool.
+func TestMatchedFilterPlanConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	template := randReal(rng, 96)
+	plan := NewMatchedFilterPlan(template)
+	lengths := []int{200, 1000, 2640, 300, 4096}
+	signals := make([][]float64, len(lengths))
+	wants := make([][]float64, len(lengths))
+	for i, n := range lengths {
+		signals[i] = randReal(rng, n)
+		wants[i] = MatchedFilter(signals[i], template)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 25; rep++ {
+				i := (g + rep) % len(signals)
+				got := plan.MatchedFilter(signals[i])
+				for k := range got {
+					if got[k] != wants[i][k] {
+						t.Errorf("goroutine %d len %d: mismatch at %d", g, lengths[i], k)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

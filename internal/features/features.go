@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"echoimage/internal/aimage"
 )
@@ -40,6 +42,11 @@ type Config struct {
 	// it is off by default; the scale-invariant variant exists for
 	// ablation and for deployments without level calibration.
 	Standardize bool
+	// Workers caps the per-block worker pool that fans the conv output
+	// channels of Extract across goroutines; 0 means GOMAXPROCS, 1 forces
+	// the sequential path. The output is identical for any value: each
+	// channel's arithmetic is independent of scheduling.
+	Workers int
 }
 
 // DefaultConfig yields a 56→28→14→7 stack producing 7×7×32 = 1568
@@ -89,10 +96,14 @@ type convBlock struct {
 }
 
 // Extractor is the frozen network. It is safe for concurrent use once
-// constructed: all state is read-only.
+// constructed: the network state is read-only and the scratch-buffer pool
+// is synchronized.
 type Extractor struct {
 	cfg    Config
 	blocks []convBlock
+	// bufs recycles plane and convolution scratch buffers across Extract
+	// calls and across the workers inside one call.
+	bufs sync.Pool
 }
 
 // NewExtractor builds the frozen network from the config's seed.
@@ -127,7 +138,29 @@ func NewExtractor(cfg Config) (*Extractor, error) {
 		blocks[b] = blk
 		inCh = outCh
 	}
-	return &Extractor{cfg: cfg, blocks: blocks}, nil
+	e := &Extractor{cfg: cfg, blocks: blocks}
+	e.bufs.New = func() any {
+		var buf []float64
+		return &buf
+	}
+	return e, nil
+}
+
+// getBuf returns a pooled scratch slice of length n. Contents are
+// arbitrary; every user overwrites each element before reading it (or
+// zeroes explicitly).
+func (e *Extractor) getBuf(n int) []float64 {
+	bp := e.bufs.Get().(*[]float64)
+	b := *bp
+	if cap(b) < n {
+		b = make([]float64, n)
+	}
+	return b[:n]
+}
+
+// putBuf recycles a scratch slice.
+func (e *Extractor) putBuf(b []float64) {
+	e.bufs.Put(&b)
 }
 
 // Dim returns the output feature dimensionality.
@@ -139,7 +172,7 @@ func (e *Extractor) Dim() int { return e.cfg.OutputDim() }
 // features); otherwise the image's calibrated echo level flows through.
 func (e *Extractor) Extract(img *aimage.Image) []float64 {
 	in := img.Resize(e.cfg.InputSize, e.cfg.InputSize)
-	plane := make([]float64, len(in.Pix))
+	plane := e.getBuf(len(in.Pix))
 	if e.cfg.Standardize {
 		mean := in.Mean()
 		var variance float64
@@ -154,21 +187,34 @@ func (e *Extractor) Extract(img *aimage.Image) []float64 {
 			for i, v := range in.Pix {
 				plane[i] = (v - mean) * inv
 			}
+		} else {
+			for i := range plane {
+				plane[i] = 0
+			}
 		}
 	} else {
 		copy(plane, in.Pix)
 	}
 
+	workers := e.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	size := e.cfg.InputSize
 	planes := [][]float64{plane}
 	for _, blk := range e.blocks {
-		planes = blk.forward(planes, size)
+		next := e.forward(blk, planes, size, workers)
+		for _, p := range planes {
+			e.putBuf(p)
+		}
+		planes = next
 		size /= 2
 	}
 
 	out := make([]float64, 0, e.Dim())
 	for _, p := range planes {
 		out = append(out, p...)
+		e.putBuf(p)
 	}
 	if e.cfg.Standardize {
 		var norm float64
@@ -186,57 +232,87 @@ func (e *Extractor) Extract(img *aimage.Image) []float64 {
 }
 
 // forward applies conv3×3 (same padding) + ReLU + maxpool2×2 to all input
-// planes of the given square size, returning outCh planes of size/2.
-func (b convBlock) forward(in [][]float64, size int) [][]float64 {
-	half := size / 2
+// planes of the given square size, returning outCh planes of size/2. The
+// output channels are independent, so they fan out over a bounded worker
+// pool; every scratch and output plane comes from the extractor's pool.
+func (e *Extractor) forward(b convBlock, in [][]float64, size, workers int) [][]float64 {
 	out := make([][]float64, b.outCh)
-	conv := make([]float64, size*size)
-	for o := 0; o < b.outCh; o++ {
-		for i := range conv {
-			conv[i] = b.bias[o]
+	if workers > b.outCh {
+		workers = b.outCh
+	}
+	if workers <= 1 {
+		for o := 0; o < b.outCh; o++ {
+			out[o] = e.forwardOne(b, in, size, o)
 		}
-		for ic := 0; ic < b.inCh; ic++ {
-			src := in[ic]
-			k := b.weights[o][ic]
-			for y := 0; y < size; y++ {
-				for x := 0; x < size; x++ {
-					var s float64
-					for ky := -1; ky <= 1; ky++ {
-						yy := y + ky
-						if yy < 0 || yy >= size {
+		return out
+	}
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for o := range ch {
+				out[o] = e.forwardOne(b, in, size, o)
+			}
+		}()
+	}
+	for o := 0; o < b.outCh; o++ {
+		ch <- o
+	}
+	close(ch)
+	wg.Wait()
+	return out
+}
+
+// forwardOne computes one output channel of a conv block.
+func (e *Extractor) forwardOne(b convBlock, in [][]float64, size, o int) []float64 {
+	half := size / 2
+	conv := e.getBuf(size * size)
+	for i := range conv {
+		conv[i] = b.bias[o]
+	}
+	for ic := 0; ic < b.inCh; ic++ {
+		src := in[ic]
+		k := b.weights[o][ic]
+		for y := 0; y < size; y++ {
+			for x := 0; x < size; x++ {
+				var s float64
+				for ky := -1; ky <= 1; ky++ {
+					yy := y + ky
+					if yy < 0 || yy >= size {
+						continue
+					}
+					row := yy * size
+					kRow := (ky + 1) * 3
+					for kx := -1; kx <= 1; kx++ {
+						xx := x + kx
+						if xx < 0 || xx >= size {
 							continue
 						}
-						row := yy * size
-						kRow := (ky + 1) * 3
-						for kx := -1; kx <= 1; kx++ {
-							xx := x + kx
-							if xx < 0 || xx >= size {
-								continue
-							}
-							s += src[row+xx] * k[kRow+kx+1]
-						}
-					}
-					conv[y*size+x] += s
-				}
-			}
-		}
-		// ReLU + 2×2 max pool.
-		pooled := make([]float64, half*half)
-		for y := 0; y < half; y++ {
-			for x := 0; x < half; x++ {
-				m := 0.0
-				for dy := 0; dy < 2; dy++ {
-					for dx := 0; dx < 2; dx++ {
-						v := conv[(2*y+dy)*size+2*x+dx]
-						if v > m {
-							m = v
-						}
+						s += src[row+xx] * k[kRow+kx+1]
 					}
 				}
-				pooled[y*half+x] = m
+				conv[y*size+x] += s
 			}
 		}
-		out[o] = pooled
 	}
-	return out
+	// ReLU + 2×2 max pool.
+	pooled := e.getBuf(half * half)
+	for y := 0; y < half; y++ {
+		for x := 0; x < half; x++ {
+			m := 0.0
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					v := conv[(2*y+dy)*size+2*x+dx]
+					if v > m {
+						m = v
+					}
+				}
+			}
+			pooled[y*half+x] = m
+		}
+	}
+	e.putBuf(conv)
+	return pooled
 }

@@ -1,0 +1,105 @@
+package features
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"echoimage/internal/aimage"
+)
+
+// TestExtractParallelMatchesSequential asserts the fan-out over conv
+// output channels is invisible in the output: any worker count produces
+// bitwise-identical features (each channel's arithmetic is independent of
+// scheduling).
+func TestExtractParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	img := randImage(rng, 40, 40)
+	for _, standardize := range []bool{false, true} {
+		cfg := DefaultConfig()
+		cfg.Standardize = standardize
+		cfg.Workers = 1
+		seq, err := NewExtractor(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := seq.Extract(img)
+		for _, workers := range []int{0, 2, 5, 16} {
+			cfg.Workers = workers
+			par, err := NewExtractor(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := par.Extract(img)
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d: dim %d != %d", workers, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("standardize=%v workers=%d: feature %d: %g != %g",
+						standardize, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestExtractRepeatedCallsStable guards the scratch-buffer pool: repeated
+// and interleaved extractions must not leak state between calls.
+func TestExtractRepeatedCallsStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	ext, err := NewExtractor(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]*aimage.Image, 3)
+	wants := make([][]float64, len(inputs))
+	for i := range inputs {
+		inputs[i] = randImage(rng, 36+2*i, 36)
+		wants[i] = ext.Extract(inputs[i])
+	}
+	for rep := 0; rep < 5; rep++ {
+		for i := range inputs {
+			got := ext.Extract(inputs[i])
+			for k := range got {
+				if got[k] != wants[i][k] {
+					t.Fatalf("rep %d image %d: feature %d drifted", rep, i, k)
+				}
+			}
+		}
+	}
+}
+
+// TestExtractConcurrentCallers runs one extractor from many goroutines;
+// -race verifies the shared pool, and the outputs must stay bitwise equal.
+func TestExtractConcurrentCallers(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	ext, err := NewExtractor(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := randImage(rng, 48, 48)
+	want := ext.Extract(img)
+	var wg sync.WaitGroup
+	fail := make(chan int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				got := ext.Extract(img)
+				for i := range got {
+					if got[i] != want[i] {
+						fail <- g
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(fail)
+	for g := range fail {
+		t.Errorf("goroutine %d observed corrupted features", g)
+	}
+}
