@@ -1,11 +1,16 @@
 // Command echoimage-client talks to the echoimaged daemon: it simulates a
 // roster subject's capture (the hardware stand-in) and submits it for
-// enrollment or authentication.
+// enrollment or authentication. It speaks protocol v2 — every request
+// carries a version and a request ID, and the daemon's echo is verified —
+// and applies a deadline to each round trip so a hung daemon cannot wedge
+// the client forever.
 //
 // Usage:
 //
 //	echoimage-client -addr 127.0.0.1:7465 enroll -user 3 -distance 0.7 -retrain
 //	echoimage-client -addr 127.0.0.1:7465 auth -user 3 -distance 0.7 -session 3
+//	echoimage-client -addr 127.0.0.1:7465 retrain -wait
+//	echoimage-client -addr 127.0.0.1:7465 info
 //	echoimage-client -addr 127.0.0.1:7465 status
 package main
 
@@ -14,6 +19,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"time"
 
 	"echoimage"
 	"echoimage/internal/proto"
@@ -26,11 +32,65 @@ func main() {
 	}
 }
 
+// client wraps the framed connection with per-round-trip deadlines and
+// v2 request correlation.
+type client struct {
+	conn    net.Conn
+	pc      *proto.Conn
+	timeout time.Duration
+	seq     int
+}
+
+// call performs one request/response round trip under the deadline and
+// validates the response: daemon errors surface as errors, the request ID
+// echo is checked, and the body is decoded into `into`.
+func (c *client) call(msgType proto.MsgType, body any, want proto.MsgType, into any) error {
+	c.seq++
+	reqID := fmt.Sprintf("cli-%d-%d", os.Getpid(), c.seq)
+	env, err := proto.NewEnvelope(msgType, reqID, body)
+	if err != nil {
+		return err
+	}
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return err
+		}
+	}
+	if err := c.pc.SendEnvelope(env); err != nil {
+		return err
+	}
+	resp, err := c.pc.Receive()
+	if err != nil {
+		return fmt.Errorf("awaiting %s: %w", want, err)
+	}
+	if resp.RequestID != reqID {
+		return fmt.Errorf("response correlates to %q, want %q", resp.RequestID, reqID)
+	}
+	if resp.Type == proto.TypeError {
+		var e proto.ErrorResponse
+		if err := proto.DecodeBody(resp, &e); err != nil {
+			return err
+		}
+		if e.Code != "" {
+			return fmt.Errorf("daemon error [%s]: %s", e.Code, e.Message)
+		}
+		return fmt.Errorf("daemon error: %s", e.Message)
+	}
+	if resp.Type != want {
+		return fmt.Errorf("unexpected response %q (want %q)", resp.Type, want)
+	}
+	if into == nil {
+		return nil
+	}
+	return proto.DecodeBody(resp, into)
+}
+
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:7465", "daemon address")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request deadline; 0 waits forever")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		return fmt.Errorf("usage: echoimage-client [-addr host:port] enroll|auth|status [flags]")
+		return fmt.Errorf("usage: echoimage-client [-addr host:port] [-timeout 2m] enroll|auth|retrain|info|status [flags]")
 	}
 	cmd := flag.Arg(0)
 
@@ -40,32 +100,61 @@ func run() error {
 	session := sub.Int("session", 1, "collection session (varies stance)")
 	beeps := sub.Int("beeps", 12, "number of probe chirps")
 	seed := sub.Int64("seed", 0, "noise realization seed")
-	retrain := sub.Bool("retrain", false, "retrain the model after enrolling")
+	retrain := sub.Bool("retrain", false, "queue a background retrain after enrolling")
+	wait := sub.Bool("wait", false, "block until the retrain completes (retrain command)")
 	if err := sub.Parse(flag.Args()[1:]); err != nil {
 		return err
 	}
 
-	conn, err := net.Dial("tcp", *addr)
+	dialTO := *timeout
+	if dialTO <= 0 {
+		dialTO = time.Minute
+	}
+	conn, err := net.DialTimeout("tcp", *addr, dialTO)
 	if err != nil {
 		return fmt.Errorf("dial %s: %w", *addr, err)
 	}
 	defer conn.Close()
-	pc := proto.NewConn(conn)
+	c := &client{conn: conn, pc: proto.NewConn(conn), timeout: *timeout}
 
 	switch cmd {
 	case "status":
-		if err := pc.Send(proto.TypeStatusRequest, nil); err != nil {
-			return err
-		}
-		env, err := pc.Receive()
-		if err != nil {
-			return err
-		}
 		var resp proto.StatusResponse
-		if err := decode(env, proto.TypeStatusResponse, &resp); err != nil {
+		if err := c.call(proto.TypeStatusRequest, nil, proto.TypeStatusResponse, &resp); err != nil {
 			return err
 		}
-		fmt.Printf("trained=%v users=%v images=%d\n", resp.Trained, resp.Users, resp.TotalImages)
+		fmt.Printf("trained=%v model=v%d users=%v images=%d\n",
+			resp.Trained, resp.ModelVersion, resp.Users, resp.TotalImages)
+		return nil
+	case "info":
+		var resp proto.ModelInfoResponse
+		if err := c.call(proto.TypeModelInfoRequest, nil, proto.TypeModelInfoResponse, &resp); err != nil {
+			return err
+		}
+		if !resp.Trained {
+			fmt.Println("no trained model")
+		} else {
+			origin := "trained"
+			if resp.Loaded {
+				origin = "loaded from disk"
+			}
+			fmt.Printf("model v%d (%s): %d users, %d images, trained in %d ms at %s\n",
+				resp.ModelVersion, origin, resp.Users, resp.Images, resp.TrainMillis, resp.TrainedAt)
+		}
+		if resp.LastError != "" {
+			fmt.Printf("last train error: %s\n", resp.LastError)
+		}
+		return nil
+	case "retrain":
+		var resp proto.RetrainResponse
+		if err := c.call(proto.TypeRetrainRequest, proto.RetrainRequest{Wait: *wait}, proto.TypeRetrainResponse, &resp); err != nil {
+			return err
+		}
+		if resp.Queued {
+			fmt.Printf("retrain queued (live model v%d keeps serving)\n", resp.ModelVersion)
+		} else {
+			fmt.Printf("retrained: model v%d live\n", resp.ModelVersion)
+		}
 		return nil
 	case "enroll", "auth":
 		cap, noiseOnly, err := echoimage.Simulate(echoimage.SimulateSpec{
@@ -80,57 +169,34 @@ func run() error {
 		}
 		wire := proto.CaptureWire{Beeps: cap.Beeps, SampleRate: cap.SampleRate, NoiseOnly: noiseOnly, Reference: cap.Reference}
 		if cmd == "enroll" {
-			if err := pc.Send(proto.TypeEnrollRequest, proto.EnrollRequest{
-				UserID: *user, Capture: wire, Retrain: *retrain,
-			}); err != nil {
-				return err
-			}
-			env, err := pc.Receive()
-			if err != nil {
-				return err
-			}
 			var resp proto.EnrollResponse
-			if err := decode(env, proto.TypeEnrollResponse, &resp); err != nil {
+			if err := c.call(proto.TypeEnrollRequest, proto.EnrollRequest{
+				UserID: *user, Capture: wire, Retrain: *retrain,
+			}, proto.TypeEnrollResponse, &resp); err != nil {
 				return err
 			}
-			fmt.Printf("enrolled user %d: +%d images at %.2f m (trained=%v, %d users, %d images total)\n",
-				resp.UserID, resp.Images, resp.DistanceM, resp.Trained, resp.TotalUsers, resp.TotalImages)
+			trained := "trained=false"
+			if resp.Trained {
+				trained = "trained=true"
+			} else if resp.RetrainQueued {
+				trained = "retrain queued"
+			}
+			fmt.Printf("enrolled user %d: +%d images at %.2f m (%s, %d users, %d images total)\n",
+				resp.UserID, resp.Images, resp.DistanceM, trained, resp.TotalUsers, resp.TotalImages)
 			return nil
 		}
-		if err := pc.Send(proto.TypeAuthRequest, proto.AuthRequest{Capture: wire}); err != nil {
-			return err
-		}
-		env, err := pc.Receive()
-		if err != nil {
-			return err
-		}
 		var resp proto.AuthResponse
-		if err := decode(env, proto.TypeAuthResponse, &resp); err != nil {
+		if err := c.call(proto.TypeAuthRequest, proto.AuthRequest{Capture: wire}, proto.TypeAuthResponse, &resp); err != nil {
 			return err
 		}
 		verdict := "REJECTED (spoofer)"
 		if resp.Accepted {
 			verdict = fmt.Sprintf("ACCEPTED as user %d", resp.UserID)
 		}
-		fmt.Printf("%s (gate score %.3f, ranged %.2f m, %d images)\n",
-			verdict, resp.GateScore, resp.DistanceM, resp.Images)
+		fmt.Printf("%s (gate score %.3f, ranged %.2f m, %d images, model v%d)\n",
+			verdict, resp.GateScore, resp.DistanceM, resp.Images, resp.ModelVersion)
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
-}
-
-// decode validates the response type, surfacing daemon-side errors.
-func decode(env *proto.Envelope, want proto.MsgType, into any) error {
-	if env.Type == proto.TypeError {
-		var e proto.ErrorResponse
-		if err := proto.DecodeBody(env, &e); err != nil {
-			return err
-		}
-		return fmt.Errorf("daemon error: %s", e.Message)
-	}
-	if env.Type != want {
-		return fmt.Errorf("unexpected response %q (want %q)", env.Type, want)
-	}
-	return proto.DecodeBody(env, into)
 }

@@ -1,8 +1,8 @@
 // Command echoimaged is the EchoImage authentication daemon: a TCP server
 // that accepts captures over the length-prefixed JSON protocol, maintains
-// per-user enrollment, trains the classifier stack and answers
-// authentication requests — the role the smart speaker's on-device service
-// plays.
+// per-user enrollment, trains the classifier stack on a background
+// registry worker and answers authentication requests — the role the
+// smart speaker's on-device service plays.
 //
 // Usage:
 //
@@ -18,6 +18,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"echoimage/internal/array"
 	"echoimage/internal/core"
@@ -36,6 +37,9 @@ func run() error {
 	gridSize := flag.Int("grid", 36, "imaging grid rows/cols")
 	spacing := flag.Float64("spacing", 0.05, "imaging grid spacing, meters")
 	modelPath := flag.String("model", "", "model file: loaded at startup if present, saved after every retrain")
+	maxCaptures := flag.Int("max-captures", 0, "max concurrently processed captures (0 = GOMAXPROCS)")
+	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "drop a connection idle for this long (0 = never)")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "per-response write deadline (0 = none)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -54,9 +58,14 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := daemon.New(sys, core.DefaultAuthConfig(), log.Printf)
+	srv := daemon.NewWithOptions(sys, core.DefaultAuthConfig(), log.Printf, daemon.Options{
+		ModelPath:    *modelPath,
+		MaxCaptures:  *maxCaptures,
+		ReadTimeout:  *idleTimeout,
+		WriteTimeout: *writeTimeout,
+	})
+	defer srv.Close()
 	if *modelPath != "" {
-		srv.ModelPath = *modelPath
 		if f, err := os.Open(*modelPath); err == nil {
 			loadErr := srv.LoadModel(f)
 			f.Close()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -89,6 +90,14 @@ type Authenticator struct {
 // TrainAuthenticator fits the classifier stack from enrollment images,
 // keyed by registered user ID (IDs must be positive).
 func TrainAuthenticator(cfg AuthConfig, enrollment map[int][]*AcousticImage) (*Authenticator, error) {
+	return TrainAuthenticatorContext(context.Background(), cfg, enrollment)
+}
+
+// TrainAuthenticatorContext is TrainAuthenticator with cancellation: the
+// context is checked between feature extraction passes and between
+// per-bin model fits, so a background retrain worker can abandon a train
+// whose enrollment snapshot has become obsolete.
+func TrainAuthenticatorContext(ctx context.Context, cfg AuthConfig, enrollment map[int][]*AcousticImage) (*Authenticator, error) {
 	if len(enrollment) == 0 {
 		return nil, fmt.Errorf("core: no enrollment data")
 	}
@@ -116,6 +125,9 @@ func TrainAuthenticator(cfg AuthConfig, enrollment map[int][]*AcousticImage) (*A
 	}
 	binSets := make(map[int]*binData)
 	for _, id := range users {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: train cancelled: %w", err)
+		}
 		imgs := enrollment[id]
 		if len(imgs) == 0 {
 			return nil, fmt.Errorf("core: user %d has no enrollment images", id)
@@ -144,6 +156,9 @@ func TrainAuthenticator(cfg AuthConfig, enrollment map[int][]*AcousticImage) (*A
 	}
 	whitenK := cfg.WhitenDirections
 	for bin, bd := range binSets {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: train cancelled: %w", err)
+		}
 		bm := &binModel{users: distinctLabels(bd.labels)}
 		x := bd.x
 		if whitenK > 0 {

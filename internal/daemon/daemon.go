@@ -1,56 +1,95 @@
-// Package daemon implements the EchoImage authentication service: it owns
-// the sensing pipeline and the trained classifier stack, accumulates
-// enrollment, and answers enroll/authenticate/status requests over the
-// length-prefixed JSON protocol of internal/proto.
+// Package daemon is the transport layer of the EchoImage authentication
+// service: framing, per-connection deadlines, bounded-concurrency capture
+// processing and request dispatch over the protocol of internal/proto.
+// All model state — enrollment pools, the live classifier, retrain
+// scheduling and persistence — lives in internal/registry; the daemon
+// only routes requests to it, so a retrain never blocks an authenticate.
 package daemon
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
-	"os"
-	"path/filepath"
+	"runtime"
 	"sync"
+	"time"
 
 	"echoimage/internal/core"
 	"echoimage/internal/proto"
+	"echoimage/internal/registry"
 )
 
-// Server is the daemon state. Construct with New; methods are safe for
-// concurrent connections.
-type Server struct {
-	sys     *core.System
-	authCfg core.AuthConfig
-	logf    func(format string, args ...any)
-	// ModelPath, when set, receives a serialized copy of the model after
-	// every successful retrain.
+// Options tunes the transport layer.
+type Options struct {
+	// ModelPath, when set, is written (atomically, by the registry
+	// worker) after every successful retrain.
 	ModelPath string
-
-	mu         sync.Mutex
-	enrollment map[int][]*core.AcousticImage
-	auth       *core.Authenticator
-	numImages  int
+	// MaxCaptures bounds concurrent capture processing (the CPU-heavy
+	// ranging + imaging stage). 0 means GOMAXPROCS.
+	MaxCaptures int
+	// ReadTimeout is the per-message idle deadline: a connection that
+	// sends no complete request for this long is dropped. 0 disables.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response write. 0 disables.
+	WriteTimeout time.Duration
+	// Train overrides the registry training function (tests).
+	Train registry.TrainFunc
 }
 
-// New builds a server around a sensing pipeline. logf may be nil to
-// silence logging.
+// Server is the daemon transport. Construct with New or NewWithOptions;
+// methods are safe for concurrent connections.
+type Server struct {
+	sys        *core.System
+	reg        *registry.Registry
+	logf       func(format string, args ...any)
+	readTO     time.Duration
+	writeTO    time.Duration
+	captureSem chan struct{}
+}
+
+// New builds a server with default options around a sensing pipeline.
+// logf may be nil to silence logging.
 func New(sys *core.System, authCfg core.AuthConfig, logf func(string, ...any)) *Server {
+	return NewWithOptions(sys, authCfg, logf, Options{})
+}
+
+// NewWithOptions builds a server. Call Close when done to stop the
+// registry's retrain worker.
+func NewWithOptions(sys *core.System, authCfg core.AuthConfig, logf func(string, ...any), opts Options) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	maxCap := opts.MaxCaptures
+	if maxCap <= 0 {
+		maxCap = runtime.GOMAXPROCS(0)
+	}
 	return &Server{
-		sys:        sys,
-		authCfg:    authCfg,
+		sys: sys,
+		reg: registry.New(authCfg, registry.Options{
+			ModelPath: opts.ModelPath,
+			Train:     opts.Train,
+			Logf:      logf,
+		}),
 		logf:       logf,
-		enrollment: make(map[int][]*core.AcousticImage),
+		readTO:     opts.ReadTimeout,
+		writeTO:    opts.WriteTimeout,
+		captureSem: make(chan struct{}, maxCap),
 	}
 }
 
-// Serve accepts connections until the context is cancelled or the listener
-// fails. It closes the listener on cancellation and waits for in-flight
-// connections before returning.
+// Registry exposes the model registry (status inspection, tests).
+func (s *Server) Registry() *registry.Registry { return s.reg }
+
+// Close stops the background retrain worker, cancelling any in-flight
+// train. In-flight connections are not interrupted.
+func (s *Server) Close() { s.reg.Close() }
+
+// Serve accepts connections until the context is cancelled or the
+// listener fails. It closes the listener on cancellation and waits for
+// in-flight connections before returning.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	var wg sync.WaitGroup
 	done := make(chan struct{})
@@ -75,161 +114,261 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		go func() {
 			defer wg.Done()
 			defer conn.Close()
-			s.ServeConn(conn)
+			s.ServeConn(ctx, conn)
 		}()
 	}
 }
 
-// ServeConn handles one connection's request loop.
-func (s *Server) ServeConn(conn io.ReadWriter) {
+// deadlineConn is the subset of net.Conn the transport needs for
+// timeouts; loopback test pipes satisfy it, plain io.ReadWriter pairs
+// silently skip deadlines.
+type deadlineConn interface {
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
+
+// srvError pairs a failure with its stable protocol code.
+type srvError struct {
+	code string
+	err  error
+}
+
+func (e *srvError) Error() string { return e.err.Error() }
+func (e *srvError) Unwrap() error { return e.err }
+
+func coded(code string, err error) *srvError { return &srvError{code: code, err: err} }
+
+// ServeConn handles one connection's request loop under ctx: each request
+// is read (under the idle deadline), dispatched, and answered with the
+// client's request ID echoed. Errors are answered in-band with a stable
+// code; only transport failures drop the connection.
+func (s *Server) ServeConn(ctx context.Context, conn io.ReadWriter) {
 	pc := proto.NewConn(conn)
+	dl, hasDeadlines := conn.(deadlineConn)
+	// A connection accepted before shutdown may outlive ctx; cap reads so
+	// the serve loop notices cancellation instead of blocking forever.
+	stop := context.AfterFunc(ctx, func() {
+		if hasDeadlines {
+			dl.SetReadDeadline(time.Now())
+		}
+	})
+	defer stop()
 	for {
+		if hasDeadlines && s.readTO > 0 {
+			dl.SetReadDeadline(time.Now().Add(s.readTO))
+		}
 		env, err := pc.Receive()
 		if err != nil {
-			if !errors.Is(err, io.EOF) {
+			if !errors.Is(err, io.EOF) && ctx.Err() == nil {
 				s.logf("daemon: receive: %v", err)
 			}
 			return
 		}
-		if err := s.handle(pc, env); err != nil {
-			s.logf("daemon: %v", err)
-			if sendErr := pc.Send(proto.TypeError, proto.ErrorResponse{Message: err.Error()}); sendErr != nil {
+		resp, herr := s.handle(ctx, env)
+		if herr != nil {
+			s.logf("daemon: %s: %v", env.Type, herr)
+			resp = reply(env, proto.TypeError)
+			body := proto.ErrorResponse{Message: herr.Error()}
+			var se *srvError
+			if errors.As(herr, &se) {
+				body.Code = se.code
+			} else {
+				body.Code = proto.CodeInternal
+			}
+			if resp, err = withBody(resp, body); err != nil {
+				s.logf("daemon: encode error response: %v", err)
 				return
 			}
+		}
+		if hasDeadlines && s.writeTO > 0 {
+			dl.SetWriteDeadline(time.Now().Add(s.writeTO))
+		}
+		if err := pc.SendEnvelope(resp); err != nil {
+			if ctx.Err() == nil {
+				s.logf("daemon: send: %v", err)
+			}
+			return
 		}
 	}
 }
 
-func (s *Server) handle(pc *proto.Conn, env *proto.Envelope) error {
+// reply shapes a response envelope for a request: v2 requests get the
+// daemon's version and their request ID echoed; v1 requests (no version
+// field) get a bare v1 envelope, byte-compatible with the old protocol.
+func reply(req *proto.Envelope, msgType proto.MsgType) *proto.Envelope {
+	resp := &proto.Envelope{Type: msgType}
+	if req.Version >= 2 {
+		resp.Version = proto.Version
+		resp.RequestID = req.RequestID
+	}
+	return resp
+}
+
+func withBody(env *proto.Envelope, body any) (*proto.Envelope, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, coded(proto.CodeInternal, fmt.Errorf("marshal %s body: %w", env.Type, err))
+	}
+	env.Body = raw
+	return env, nil
+}
+
+// handle dispatches one request and returns the response envelope. The
+// returned error carries a stable code for the in-band error reply.
+func (s *Server) handle(ctx context.Context, env *proto.Envelope) (*proto.Envelope, error) {
 	switch env.Type {
 	case proto.TypeEnrollRequest:
 		var req proto.EnrollRequest
 		if err := proto.DecodeBody(env, &req); err != nil {
-			return err
+			return nil, coded(proto.CodeBadRequest, err)
 		}
-		resp, err := s.Enroll(&req)
+		// v1 semantics: retrain completes before the response. v2 queues
+		// the retrain on the registry worker and responds immediately.
+		resp, err := s.enroll(ctx, &req, env.Version < 2)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		return pc.Send(proto.TypeEnrollResponse, resp)
+		return withBody(reply(env, proto.TypeEnrollResponse), resp)
 	case proto.TypeAuthRequest:
 		var req proto.AuthRequest
 		if err := proto.DecodeBody(env, &req); err != nil {
-			return err
+			return nil, coded(proto.CodeBadRequest, err)
 		}
-		resp, err := s.Authenticate(&req)
+		resp, err := s.Authenticate(ctx, &req)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		return pc.Send(proto.TypeAuthResponse, resp)
+		return withBody(reply(env, proto.TypeAuthResponse), resp)
 	case proto.TypeStatusRequest:
-		return pc.Send(proto.TypeStatusResponse, s.Status())
+		return withBody(reply(env, proto.TypeStatusResponse), s.Status())
+	case proto.TypeRetrainRequest:
+		var req proto.RetrainRequest
+		if len(env.Body) > 0 {
+			if err := proto.DecodeBody(env, &req); err != nil {
+				return nil, coded(proto.CodeBadRequest, err)
+			}
+		}
+		resp, err := s.retrain(ctx, &req)
+		if err != nil {
+			return nil, err
+		}
+		return withBody(reply(env, proto.TypeRetrainResponse), resp)
+	case proto.TypeModelInfoRequest:
+		return withBody(reply(env, proto.TypeModelInfoResponse), s.ModelInfo())
 	default:
-		return fmt.Errorf("unknown message type %q", env.Type)
+		return nil, coded(proto.CodeUnknownType, fmt.Errorf("unknown message type %q", env.Type))
 	}
 }
 
-func (s *Server) process(wire *proto.CaptureWire) (*core.ProcessResult, error) {
+// process runs the sensing pipeline on a capture under the concurrency
+// semaphore, so a burst of connections cannot oversubscribe the imaging
+// worker pools.
+func (s *Server) process(ctx context.Context, wire *proto.CaptureWire) (*core.ProcessResult, error) {
+	select {
+	case s.captureSem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, coded(proto.CodeUnavailable, ctx.Err())
+	}
+	defer func() { <-s.captureSem }()
 	cap := &core.Capture{Beeps: wire.Beeps, SampleRate: wire.SampleRate, Reference: wire.Reference}
 	res, err := s.sys.Process(cap, wire.NoiseOnly)
 	if err != nil {
-		return nil, fmt.Errorf("process capture: %w", err)
+		return nil, coded(proto.CodeProcess, fmt.Errorf("process capture: %w", err))
 	}
 	return res, nil
 }
 
-// Enroll adds a capture to a user's enrollment pool, optionally retraining.
-func (s *Server) Enroll(req *proto.EnrollRequest) (*proto.EnrollResponse, error) {
-	if req.UserID <= 0 {
-		return nil, fmt.Errorf("user ID %d must be positive", req.UserID)
-	}
-	res, err := s.process(&req.Capture)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.enrollment[req.UserID] = append(s.enrollment[req.UserID], res.Images...)
-	s.numImages += len(res.Images)
-	trained := false
-	if req.Retrain {
-		auth, err := core.TrainAuthenticator(s.authCfg, s.enrollment)
-		if err != nil {
-			return nil, fmt.Errorf("retrain: %w", err)
-		}
-		s.auth = auth
-		trained = true
-		if s.ModelPath != "" {
-			if err := s.persistLocked(); err != nil {
-				s.logf("daemon: persist model: %v", err)
-			}
-		}
-	}
-	return &proto.EnrollResponse{
-		UserID:      req.UserID,
-		Images:      len(res.Images),
-		DistanceM:   res.Distance.UserM,
-		Trained:     trained,
-		TotalUsers:  len(s.enrollment),
-		TotalImages: s.numImages,
-	}, nil
+// Enroll adds a capture to a user's enrollment pool with v1 semantics:
+// when retrain is requested, the new model is live before Enroll returns.
+func (s *Server) Enroll(ctx context.Context, req *proto.EnrollRequest) (*proto.EnrollResponse, error) {
+	return s.enroll(ctx, req, true)
 }
 
-// Authenticate runs a capture through the trained model.
-func (s *Server) Authenticate(req *proto.AuthRequest) (*proto.AuthResponse, error) {
-	s.mu.Lock()
-	auth := s.auth
-	s.mu.Unlock()
-	if auth == nil {
-		return nil, fmt.Errorf("no trained model: enroll users with retrain=true first")
+func (s *Server) enroll(ctx context.Context, req *proto.EnrollRequest, syncRetrain bool) (*proto.EnrollResponse, error) {
+	if req.UserID <= 0 {
+		return nil, coded(proto.CodeBadRequest, fmt.Errorf("user ID %d must be positive", req.UserID))
 	}
-	res, err := s.process(&req.Capture)
+	res, err := s.process(ctx, &req.Capture)
 	if err != nil {
 		return nil, err
 	}
-	decision, err := auth.AuthenticateMajority(res.Images)
+	if err := s.reg.AddImages(req.UserID, res.Images); err != nil {
+		return nil, coded(proto.CodeUnavailable, err)
+	}
+	resp := &proto.EnrollResponse{
+		UserID:    req.UserID,
+		Images:    len(res.Images),
+		DistanceM: res.Distance.UserM,
+	}
+	if req.Retrain {
+		if syncRetrain {
+			if err := s.reg.Retrain(ctx); err != nil {
+				return nil, coded(proto.CodeTrain, fmt.Errorf("retrain: %w", err))
+			}
+			resp.Trained = true
+		} else {
+			if err := s.reg.RequestRetrain(); err != nil {
+				return nil, coded(proto.CodeUnavailable, err)
+			}
+			resp.RetrainQueued = true
+		}
+	}
+	stats := s.reg.Stats()
+	resp.TotalUsers = len(stats.Users)
+	resp.TotalImages = stats.Images
+	return resp, nil
+}
+
+// Authenticate runs a capture through the live model snapshot. It never
+// waits on training: the previous model answers until the registry swaps
+// in the next one.
+func (s *Server) Authenticate(ctx context.Context, req *proto.AuthRequest) (*proto.AuthResponse, error) {
+	snap := s.reg.Snapshot()
+	if snap == nil {
+		return nil, coded(proto.CodeNotTrained, fmt.Errorf("no trained model: enroll users with retrain=true first"))
+	}
+	res, err := s.process(ctx, &req.Capture)
 	if err != nil {
-		return nil, fmt.Errorf("authenticate: %w", err)
+		return nil, err
+	}
+	decision, err := snap.Auth.AuthenticateMajority(res.Images)
+	if err != nil {
+		return nil, coded(proto.CodeInternal, fmt.Errorf("authenticate: %w", err))
 	}
 	return &proto.AuthResponse{
-		Accepted:  decision.Accepted,
-		UserID:    decision.UserID,
-		GateScore: decision.GateScore,
-		DistanceM: res.Distance.UserM,
-		Images:    len(res.Images),
+		Accepted:     decision.Accepted,
+		UserID:       decision.UserID,
+		GateScore:    decision.GateScore,
+		DistanceM:    res.Distance.UserM,
+		Images:       len(res.Images),
+		ModelVersion: snap.Info.Version,
 	}, nil
 }
 
-// persistLocked writes the current model to ModelPath; the caller holds
-// s.mu.
-func (s *Server) persistLocked() error {
-	f, err := os.CreateTemp(filepath.Dir(s.ModelPath), ".model-*")
-	if err != nil {
-		return err
+// retrain serves the v2 retrain message.
+func (s *Server) retrain(ctx context.Context, req *proto.RetrainRequest) (*proto.RetrainResponse, error) {
+	if req.Wait {
+		if err := s.reg.Retrain(ctx); err != nil {
+			return nil, coded(proto.CodeTrain, fmt.Errorf("retrain: %w", err))
+		}
+	} else if err := s.reg.RequestRetrain(); err != nil {
+		return nil, coded(proto.CodeUnavailable, err)
 	}
-	tmp := f.Name()
-	if err := s.auth.Save(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+	resp := &proto.RetrainResponse{Queued: !req.Wait}
+	if snap := s.reg.Snapshot(); snap != nil {
+		resp.ModelVersion = snap.Info.Version
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, s.ModelPath)
+	return resp, nil
 }
 
-// SaveModel serializes the trained model, or reports an error when no
-// model has been trained yet.
+// SaveModel serializes the live model, or reports an error when no model
+// has been trained yet.
 func (s *Server) SaveModel(w io.Writer) error {
-	s.mu.Lock()
-	auth := s.auth
-	s.mu.Unlock()
-	if auth == nil {
+	snap := s.reg.Snapshot()
+	if snap == nil {
 		return fmt.Errorf("daemon: no trained model to save")
 	}
-	return auth.Save(w)
+	return snap.Auth.Save(w)
 }
 
 // LoadModel installs a previously saved model. Enrollment pools are not
@@ -239,23 +378,42 @@ func (s *Server) LoadModel(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	s.auth = auth
-	s.mu.Unlock()
+	s.reg.Install(auth)
 	return nil
 }
 
-// Status reports the daemon state.
+// Status reports the daemon state from atomic snapshots only — it never
+// contends with enrollment, training or persistence.
 func (s *Server) Status() proto.StatusResponse {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	users := make([]int, 0, len(s.enrollment))
-	for id := range s.enrollment {
-		users = append(users, id)
+	stats := s.reg.Stats()
+	resp := proto.StatusResponse{
+		Users:       stats.Users,
+		TotalImages: stats.Images,
 	}
-	return proto.StatusResponse{
-		Users:       users,
-		Trained:     s.auth != nil,
-		TotalImages: s.numImages,
+	if resp.Users == nil {
+		resp.Users = []int{}
 	}
+	if snap := s.reg.Snapshot(); snap != nil {
+		resp.Trained = true
+		resp.ModelVersion = snap.Info.Version
+	}
+	return resp
+}
+
+// ModelInfo reports per-version metadata of the live model.
+func (s *Server) ModelInfo() proto.ModelInfoResponse {
+	var resp proto.ModelInfoResponse
+	if snap := s.reg.Snapshot(); snap != nil {
+		resp.Trained = true
+		resp.ModelVersion = snap.Info.Version
+		resp.Users = snap.Info.Users
+		resp.Images = snap.Info.Images
+		resp.TrainMillis = snap.Info.TrainDuration.Milliseconds()
+		resp.TrainedAt = snap.Info.TrainedAt.UTC().Format(time.RFC3339)
+		resp.Loaded = snap.Info.Loaded
+	}
+	if err := s.reg.LastError(); err != nil {
+		resp.LastError = err.Error()
+	}
+	return resp
 }

@@ -2,8 +2,11 @@ package daemon
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"os"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -15,7 +18,7 @@ import (
 	"echoimage/internal/sim"
 )
 
-func testServer(t *testing.T) *Server {
+func testServer(t *testing.T, opts Options) *Server {
 	t.Helper()
 	cfg := core.DefaultConfig()
 	cfg.GridRows, cfg.GridCols = 24, 24
@@ -24,7 +27,9 @@ func testServer(t *testing.T) *Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(sys, core.DefaultAuthConfig(), t.Logf)
+	srv := NewWithOptions(sys, core.DefaultAuthConfig(), t.Logf, opts)
+	t.Cleanup(srv.Close)
+	return srv
 }
 
 func wireCapture(t *testing.T, userID, session, beeps int, seed int64) proto.CaptureWire {
@@ -54,15 +59,16 @@ func TestEnrollAuthenticateDirect(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-backed")
 	}
-	srv := testServer(t)
+	srv := testServer(t, Options{})
+	ctx := context.Background()
 
 	// Authentication before any training must fail cleanly.
-	if _, err := srv.Authenticate(&proto.AuthRequest{Capture: wireCapture(t, 1, 3, 2, 9)}); err == nil {
+	if _, err := srv.Authenticate(ctx, &proto.AuthRequest{Capture: wireCapture(t, 1, 3, 2, 9)}); err == nil {
 		t.Error("untrained daemon authenticated")
 	}
 
 	for p := 0; p < 3; p++ {
-		resp, err := srv.Enroll(&proto.EnrollRequest{
+		resp, err := srv.Enroll(ctx, &proto.EnrollRequest{
 			UserID:  1,
 			Capture: wireCapture(t, 1, 1, 5, int64(p)),
 			Retrain: p == 2,
@@ -81,8 +87,11 @@ func TestEnrollAuthenticateDirect(t *testing.T) {
 	if !status.Trained || status.TotalImages != 15 || len(status.Users) != 1 {
 		t.Errorf("status %+v", status)
 	}
+	if status.ModelVersion != 1 {
+		t.Errorf("model version %d after first train", status.ModelVersion)
+	}
 
-	resp, err := srv.Authenticate(&proto.AuthRequest{Capture: wireCapture(t, 1, 3, 4, 42)})
+	resp, err := srv.Authenticate(ctx, &proto.AuthRequest{Capture: wireCapture(t, 1, 3, 4, 42)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,20 +99,26 @@ func TestEnrollAuthenticateDirect(t *testing.T) {
 	if resp.Accepted && resp.UserID != 1 {
 		t.Errorf("accepted as wrong user %d", resp.UserID)
 	}
+	if resp.ModelVersion != 1 {
+		t.Errorf("decision from model version %d", resp.ModelVersion)
+	}
 }
 
 func TestEnrollValidation(t *testing.T) {
-	srv := testServer(t)
-	if _, err := srv.Enroll(&proto.EnrollRequest{UserID: 0}); err == nil {
+	srv := testServer(t, Options{})
+	if _, err := srv.Enroll(context.Background(), &proto.EnrollRequest{UserID: 0}); err == nil {
 		t.Error("user 0 accepted")
 	}
 }
 
+// TestServeOverTCP exercises a v1 client — bare envelopes without version
+// or request ID — against the v2 daemon: enroll with synchronous retrain,
+// status, and an in-band protocol error, unchanged from the old protocol.
 func TestServeOverTCP(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-backed")
 	}
-	srv := testServer(t)
+	srv := testServer(t, Options{})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -118,7 +133,8 @@ func TestServeOverTCP(t *testing.T) {
 	}
 	pc := proto.NewConn(conn)
 
-	// Enroll with retrain over the wire.
+	// Enroll with retrain over the wire; v1 semantics are synchronous, so
+	// the response must report the model trained, not queued.
 	if err := pc.Send(proto.TypeEnrollRequest, proto.EnrollRequest{
 		UserID:  2,
 		Capture: wireCapture(t, 2, 1, 6, 1),
@@ -132,6 +148,16 @@ func TestServeOverTCP(t *testing.T) {
 	}
 	if env.Type != proto.TypeEnrollResponse {
 		t.Fatalf("response type %q", env.Type)
+	}
+	if env.Version != 0 || env.RequestID != "" {
+		t.Errorf("v1 request answered with v2 envelope fields: %+v", env)
+	}
+	var enrolled proto.EnrollResponse
+	if err := proto.DecodeBody(env, &enrolled); err != nil {
+		t.Fatal(err)
+	}
+	if !enrolled.Trained || enrolled.RetrainQueued {
+		t.Errorf("v1 enroll got %+v, want synchronous train", enrolled)
 	}
 
 	// Status round trip.
@@ -150,8 +176,8 @@ func TestServeOverTCP(t *testing.T) {
 		t.Error("daemon not trained after retrain request")
 	}
 
-	// A malformed request yields a protocol error, not a dropped
-	// connection.
+	// A malformed request yields a protocol error with a stable code, not
+	// a dropped connection.
 	if err := pc.Send(proto.MsgType("bogus"), nil); err != nil {
 		t.Fatal(err)
 	}
@@ -161,6 +187,13 @@ func TestServeOverTCP(t *testing.T) {
 	}
 	if env.Type != proto.TypeError {
 		t.Errorf("bogus request answered with %q", env.Type)
+	}
+	var perr proto.ErrorResponse
+	if err := proto.DecodeBody(env, &perr); err != nil {
+		t.Fatal(err)
+	}
+	if perr.Code != proto.CodeUnknownType {
+		t.Errorf("error code %q, want %q", perr.Code, proto.CodeUnknownType)
 	}
 
 	conn.Close()
@@ -184,10 +217,10 @@ func TestModelPersistenceAcrossRestart(t *testing.T) {
 	}
 	dir := t.TempDir()
 	modelPath := dir + "/model.json"
+	ctx := context.Background()
 
-	srv := testServer(t)
-	srv.ModelPath = modelPath
-	if _, err := srv.Enroll(&proto.EnrollRequest{
+	srv := testServer(t, Options{ModelPath: modelPath})
+	if _, err := srv.Enroll(ctx, &proto.EnrollRequest{
 		UserID:  1,
 		Capture: wireCapture(t, 1, 1, 8, 1),
 		Retrain: true,
@@ -200,14 +233,17 @@ func TestModelPersistenceAcrossRestart(t *testing.T) {
 		t.Fatalf("model not persisted: %v", err)
 	}
 	defer f.Close()
-	fresh := testServer(t)
+	fresh := testServer(t, Options{})
 	if err := fresh.LoadModel(f); err != nil {
 		t.Fatal(err)
 	}
 	if !fresh.Status().Trained {
 		t.Fatal("restored server not trained")
 	}
-	resp, err := fresh.Authenticate(&proto.AuthRequest{Capture: wireCapture(t, 1, 3, 4, 9)})
+	if info := fresh.ModelInfo(); !info.Loaded {
+		t.Errorf("restored model info %+v, want Loaded", info)
+	}
+	resp, err := fresh.Authenticate(ctx, &proto.AuthRequest{Capture: wireCapture(t, 1, 3, 4, 9)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,3 +252,213 @@ func TestModelPersistenceAcrossRestart(t *testing.T) {
 		t.Errorf("restored model misidentified user as %d", resp.UserID)
 	}
 }
+
+// v2call sends a v2 envelope and returns the response after verifying the
+// request-ID echo.
+func v2call(t *testing.T, pc *proto.Conn, msgType proto.MsgType, reqID string, body any) *proto.Envelope {
+	t.Helper()
+	env, err := proto.NewEnvelope(msgType, reqID, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pc.SendEnvelope(env); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := pc.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RequestID != reqID {
+		t.Fatalf("response request_id %q, want %q", resp.RequestID, reqID)
+	}
+	if resp.Version != proto.Version {
+		t.Fatalf("response version %d, want %d", resp.Version, proto.Version)
+	}
+	return resp
+}
+
+// TestAuthenticateDuringRetrain is the serving-stack liveness proof: with
+// a background retrain deliberately blocked in the trainer, parallel v2
+// authenticate requests must all be answered by the previous model
+// version. Only after the trainer is released may the version advance.
+// Run under -race (make race) this also checks the swap for data races.
+func TestAuthenticateDuringRetrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	release := make(chan struct{})
+	var trains atomic.Int32
+	train := func(ctx context.Context, cfg core.AuthConfig, enr map[int][]*core.AcousticImage) (*core.Authenticator, error) {
+		if trains.Add(1) > 1 {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return core.TrainAuthenticatorContext(ctx, cfg, enr)
+	}
+	srv := testServer(t, Options{Train: train})
+	ctx := context.Background()
+
+	// Train model v1 synchronously so authentication has a live model.
+	if _, err := srv.Enroll(ctx, &proto.EnrollRequest{
+		UserID:  1,
+		Capture: wireCapture(t, 1, 1, 6, 1),
+		Retrain: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(serveCtx, ln) }()
+
+	// v2 enroll with retrain: the response must come back immediately
+	// with the retrain queued, while the trainer blocks on `release`.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	pc := proto.NewConn(conn)
+	resp := v2call(t, pc, proto.TypeEnrollRequest, "enroll-1", proto.EnrollRequest{
+		UserID:  1,
+		Capture: wireCapture(t, 1, 2, 6, 2),
+		Retrain: true,
+	})
+	if resp.Type != proto.TypeEnrollResponse {
+		t.Fatalf("response type %q", resp.Type)
+	}
+	var enrolled proto.EnrollResponse
+	if err := proto.DecodeBody(resp, &enrolled); err != nil {
+		t.Fatal(err)
+	}
+	if !enrolled.RetrainQueued || enrolled.Trained {
+		t.Fatalf("v2 enroll got %+v, want queued retrain", enrolled)
+	}
+
+	// With the retrain wedged in the trainer, N parallel authenticates
+	// must all complete against model v1. Joining them before releasing
+	// the trainer proves no authenticate ever waits on training.
+	const parallel = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, parallel)
+	for i := 0; i < parallel; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			cpc := proto.NewConn(c)
+			env, err := proto.NewEnvelope(proto.TypeAuthRequest, "", proto.AuthRequest{
+				Capture: wireCapture(t, 1, 3, 3, int64(100+i)),
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := cpc.SendEnvelope(env); err != nil {
+				errs <- err
+				return
+			}
+			r, err := cpc.Receive()
+			if err != nil {
+				errs <- err
+				return
+			}
+			var auth proto.AuthResponse
+			if err := proto.DecodeBody(r, &auth); err != nil {
+				errs <- err
+				return
+			}
+			if auth.ModelVersion != 1 {
+				errs <- fmt.Errorf("authenticate served by model v%d during retrain, want v1", auth.ModelVersion)
+				return
+			}
+			errs <- nil
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < parallel; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v := srv.Registry().Snapshot().Info.Version; v != 1 {
+		t.Fatalf("model version advanced to %d with the trainer still blocked", v)
+	}
+
+	// Release the trainer and wait for the swap to v2.
+	close(release)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if snap := srv.Registry().Snapshot(); snap.Info.Version >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("retrain never published model v2")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	info := v2call(t, pc, proto.TypeModelInfoRequest, "info-1", nil)
+	var mi proto.ModelInfoResponse
+	if err := proto.DecodeBody(info, &mi); err != nil {
+		t.Fatal(err)
+	}
+	if !mi.Trained || mi.ModelVersion != 2 || mi.Users != 1 || mi.Images != 12 {
+		t.Errorf("model info %+v", mi)
+	}
+}
+
+// TestRetrainMessage drives the v2 retrain/model_info pair end to end.
+func TestRetrainMessage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	srv := testServer(t, Options{})
+	ctx := context.Background()
+	if _, err := srv.Enroll(ctx, &proto.EnrollRequest{
+		UserID:  1,
+		Capture: wireCapture(t, 1, 1, 6, 1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(serveCtx, ln) }()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	pc := proto.NewConn(conn)
+
+	resp := v2call(t, pc, proto.TypeRetrainRequest, "rt-1", proto.RetrainRequest{Wait: true})
+	if resp.Type != proto.TypeRetrainResponse {
+		t.Fatalf("response type %q", resp.Type)
+	}
+	var rt proto.RetrainResponse
+	if err := proto.DecodeBody(resp, &rt); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Queued || rt.ModelVersion != 1 {
+		t.Errorf("waited retrain got %+v", rt)
+	}
+}
+

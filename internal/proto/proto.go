@@ -2,6 +2,12 @@
 // (cmd/echoimaged) and its clients: length-prefixed JSON messages over a
 // stream transport. The daemon owns the trained authenticator; clients
 // submit captures for enrollment or authentication.
+//
+// Versioning: protocol v2 adds a `version` and `request_id` field to the
+// envelope (both echoed in responses, so a client may pipeline requests),
+// plus retrain and model_info message types. A missing version field marks
+// a v1 client; v1 semantics — synchronous retrain on enroll, no echo —
+// are preserved by the daemon.
 package proto
 
 import (
@@ -17,24 +23,64 @@ import (
 // × 2640 samples × 8 bytes ≈ 2.5 MiB as JSON numbers.
 const MaxMessageBytes = 64 << 20
 
+// Version is the protocol version this package speaks. Envelopes carry
+// the sender's version; 0 (field absent) means v1.
+const Version = 2
+
 // MsgType discriminates requests and responses.
 type MsgType string
 
-// Protocol message types.
+// Protocol message types. The retrain and model_info pairs are v2-only.
 const (
-	TypeEnrollRequest  MsgType = "enroll"
-	TypeAuthRequest    MsgType = "authenticate"
-	TypeStatusRequest  MsgType = "status"
-	TypeEnrollResponse MsgType = "enroll_result"
-	TypeAuthResponse   MsgType = "auth_result"
-	TypeStatusResponse MsgType = "status_result"
-	TypeError          MsgType = "error"
+	TypeEnrollRequest     MsgType = "enroll"
+	TypeAuthRequest       MsgType = "authenticate"
+	TypeStatusRequest     MsgType = "status"
+	TypeRetrainRequest    MsgType = "retrain"
+	TypeModelInfoRequest  MsgType = "model_info"
+	TypeEnrollResponse    MsgType = "enroll_result"
+	TypeAuthResponse      MsgType = "auth_result"
+	TypeStatusResponse    MsgType = "status_result"
+	TypeRetrainResponse   MsgType = "retrain_result"
+	TypeModelInfoResponse MsgType = "model_info_result"
+	TypeError             MsgType = "error"
 )
 
-// Envelope frames every message.
+// Stable error codes carried by ErrorResponse.Code, so clients can branch
+// without parsing message text.
+const (
+	CodeBadRequest  = "bad_request"  // malformed body or invalid argument
+	CodeUnknownType = "unknown_type" // unrecognized message type
+	CodeNotTrained  = "not_trained"  // authentication before any model exists
+	CodeProcess     = "process_failed"
+	CodeTrain       = "train_failed"
+	CodeUnavailable = "unavailable" // daemon shutting down
+	CodeInternal    = "internal"
+)
+
+// Envelope frames every message. Version and RequestID are v2 additions;
+// both marshal to nothing for v1 peers, keeping v1 frames byte-compatible.
 type Envelope struct {
-	Type MsgType         `json:"type"`
-	Body json.RawMessage `json:"body,omitempty"`
+	// Version is the sender's protocol version; 0 means v1.
+	Version int `json:"version,omitempty"`
+	// RequestID is an opaque client-chosen correlation token, echoed
+	// verbatim in the response to this request.
+	RequestID string          `json:"request_id,omitempty"`
+	Type      MsgType         `json:"type"`
+	Body      json.RawMessage `json:"body,omitempty"`
+}
+
+// NewEnvelope marshals body into a v2 envelope carrying the given
+// correlation token. A nil body produces an empty-body envelope.
+func NewEnvelope(msgType MsgType, requestID string, body any) (*Envelope, error) {
+	env := &Envelope{Version: Version, RequestID: requestID, Type: msgType}
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return nil, fmt.Errorf("proto: marshal %s body: %w", msgType, err)
+		}
+		env.Body = raw
+	}
+	return env, nil
 }
 
 // CaptureWire carries a multichannel capture.
@@ -54,8 +100,9 @@ type CaptureWire struct {
 type EnrollRequest struct {
 	UserID  int         `json:"user_id"`
 	Capture CaptureWire `json:"capture"`
-	// Retrain, when set, rebuilds the classifier immediately; otherwise
-	// enrollment data accumulates until the next retraining request.
+	// Retrain, when set, requests a model rebuild. For v1 clients the
+	// rebuild completes before the response; for v2 clients it is queued
+	// on the registry worker and the response returns immediately.
 	Retrain bool `json:"retrain"`
 }
 
@@ -67,6 +114,9 @@ type EnrollResponse struct {
 	Trained     bool    `json:"trained"`
 	TotalUsers  int     `json:"total_users"`
 	TotalImages int     `json:"total_images"`
+	// RetrainQueued reports that a background retrain was scheduled
+	// (v2 enroll with retrain=true).
+	RetrainQueued bool `json:"retrain_queued,omitempty"`
 }
 
 // AuthRequest authenticates a capture.
@@ -81,6 +131,9 @@ type AuthResponse struct {
 	GateScore float64 `json:"gate_score"`
 	DistanceM float64 `json:"distance_m"`
 	Images    int     `json:"images"`
+	// ModelVersion is the registry version of the model that decided
+	// (v2; omitted for v1 peers' benefit when zero).
+	ModelVersion int `json:"model_version,omitempty"`
 }
 
 // StatusResponse describes the daemon state.
@@ -88,25 +141,54 @@ type StatusResponse struct {
 	Users       []int `json:"users"`
 	Trained     bool  `json:"trained"`
 	TotalImages int   `json:"total_images"`
+	// ModelVersion is the registry version of the live model (v2).
+	ModelVersion int `json:"model_version,omitempty"`
+}
+
+// RetrainRequest asks the daemon to rebuild the model from the current
+// enrollment pools (v2).
+type RetrainRequest struct {
+	// Wait blocks the response until the rebuild finishes (v1-style
+	// synchronous semantics); otherwise the request only queues it.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// RetrainResponse acknowledges a retrain request (v2).
+type RetrainResponse struct {
+	// Queued is set when the rebuild was scheduled asynchronously.
+	Queued bool `json:"queued"`
+	// ModelVersion is the live model version after the request: the new
+	// model when Wait was set, the pre-existing one otherwise.
+	ModelVersion int `json:"model_version,omitempty"`
+}
+
+// ModelInfoResponse reports per-version metadata of the live model (v2).
+type ModelInfoResponse struct {
+	Trained      bool   `json:"trained"`
+	ModelVersion int    `json:"model_version,omitempty"`
+	Users        int    `json:"users,omitempty"`
+	Images       int    `json:"images,omitempty"`
+	TrainMillis  int64  `json:"train_millis,omitempty"`
+	TrainedAt    string `json:"trained_at,omitempty"` // RFC 3339
+	// Loaded marks a model installed from disk rather than trained by
+	// this daemon process.
+	Loaded bool `json:"loaded,omitempty"`
+	// LastError is the most recent background training failure, empty
+	// once a later train succeeds.
+	LastError string `json:"last_error,omitempty"`
 }
 
 // ErrorResponse carries a failure.
 type ErrorResponse struct {
+	// Code is one of the stable Code* constants (empty from v1 daemons).
+	Code    string `json:"code,omitempty"`
 	Message string `json:"message"`
 }
 
-// Write frames and sends one message: a 4-byte big-endian length followed
-// by the JSON envelope.
-func Write(w io.Writer, msgType MsgType, body any) error {
-	var raw json.RawMessage
-	if body != nil {
-		b, err := json.Marshal(body)
-		if err != nil {
-			return fmt.Errorf("proto: marshal body: %w", err)
-		}
-		raw = b
-	}
-	payload, err := json.Marshal(Envelope{Type: msgType, Body: raw})
+// WriteEnvelope frames and sends one message: a 4-byte big-endian length
+// followed by the JSON envelope.
+func WriteEnvelope(w io.Writer, env *Envelope) error {
+	payload, err := json.Marshal(env)
 	if err != nil {
 		return fmt.Errorf("proto: marshal envelope: %w", err)
 	}
@@ -122,6 +204,19 @@ func Write(w io.Writer, msgType MsgType, body any) error {
 		return fmt.Errorf("proto: write payload: %w", err)
 	}
 	return nil
+}
+
+// Write frames and sends one v1 message (no version or request ID).
+func Write(w io.Writer, msgType MsgType, body any) error {
+	var raw json.RawMessage
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("proto: marshal body: %w", err)
+		}
+		raw = b
+	}
+	return WriteEnvelope(w, &Envelope{Type: msgType, Body: raw})
 }
 
 // Read receives one framed message.
@@ -170,11 +265,23 @@ func NewConn(rw io.ReadWriter) *Conn {
 	return &Conn{r: bufio.NewReader(rw), w: bufio.NewWriter(rw)}
 }
 
-// Send writes a message and flushes.
+// Send writes a v1 message and flushes.
 func (c *Conn) Send(msgType MsgType, body any) error {
 	if err := Write(c.w, msgType, body); err != nil {
 		return err
 	}
+	return c.flush()
+}
+
+// SendEnvelope writes a prepared envelope and flushes.
+func (c *Conn) SendEnvelope(env *Envelope) error {
+	if err := WriteEnvelope(c.w, env); err != nil {
+		return err
+	}
+	return c.flush()
+}
+
+func (c *Conn) flush() error {
 	if err := c.w.Flush(); err != nil {
 		return fmt.Errorf("proto: flush: %w", err)
 	}

@@ -2,8 +2,11 @@ package proto
 
 import (
 	"bytes"
+	"encoding/binary"
+	"encoding/json"
 	"io"
 	"net"
+	"strings"
 	"testing"
 )
 
@@ -69,6 +72,55 @@ func TestReadRejectsOversized(t *testing.T) {
 	}
 }
 
+// TestReadOversizedBoundary pins the limit exactly: MaxMessageBytes is the
+// largest accepted frame, one byte more is rejected before the payload is
+// read.
+func TestReadOversizedBoundary(t *testing.T) {
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], MaxMessageBytes+1)
+	if _, err := Read(bytes.NewReader(prefix[:])); err == nil {
+		t.Error("frame of MaxMessageBytes+1 accepted")
+	}
+
+	// A frame of exactly MaxMessageBytes must be read in full: a small
+	// envelope padded to the limit with JSON whitespace.
+	head := []byte(`{"type":"status"}`)
+	payload := append(head, bytes.Repeat([]byte{' '}, MaxMessageBytes-len(head))...)
+	binary.BigEndian.PutUint32(prefix[:], uint32(len(payload)))
+	env, err := Read(io.MultiReader(bytes.NewReader(prefix[:]), bytes.NewReader(payload)))
+	if err != nil {
+		t.Fatalf("frame of exactly MaxMessageBytes rejected: %v", err)
+	}
+	if env.Type != TypeStatusRequest {
+		t.Errorf("type %q", env.Type)
+	}
+}
+
+// TestWriteRejectsOversized checks the sender-side guard: a body that
+// inflates the envelope past MaxMessageBytes never reaches the wire.
+func TestWriteRejectsOversized(t *testing.T) {
+	var sink countWriter
+	if err := Write(&sink, TypeError, strings.Repeat("a", MaxMessageBytes)); err == nil {
+		t.Error("oversized message written")
+	}
+	if sink.n != 0 {
+		t.Errorf("%d bytes leaked to the wire before the size check", sink.n)
+	}
+}
+
+type countWriter struct{ n int }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+func TestReadTruncatedPrefix(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte{0, 0})); err == nil || err == io.EOF {
+		t.Errorf("truncated prefix gave %v, want a framing error", err)
+	}
+}
+
 func TestReadEOF(t *testing.T) {
 	if _, err := Read(bytes.NewReader(nil)); err != io.EOF {
 		t.Errorf("empty stream error %v, want io.EOF", err)
@@ -81,6 +133,106 @@ func TestReadTruncatedPayload(t *testing.T) {
 	buf.WriteString("short")
 	if _, err := Read(&buf); err == nil {
 		t.Error("truncated payload accepted")
+	}
+}
+
+// TestV1V2EnvelopeCompat round-trips both envelope generations: a v1
+// frame (no version or request_id keys on the wire) reads back with
+// Version 0, and a v2 frame preserves its version and correlation token.
+// v1 byte-compatibility is what lets old clients talk to a v2 daemon.
+func TestV1V2EnvelopeCompat(t *testing.T) {
+	// v1 sender → v2 reader.
+	var buf bytes.Buffer
+	if err := Write(&buf, TypeStatusRequest, nil); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()[4:]
+	if bytes.Contains(wire, []byte("version")) || bytes.Contains(wire, []byte("request_id")) {
+		t.Errorf("v1 frame leaks v2 fields: %s", wire)
+	}
+	env, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Version != 0 || env.RequestID != "" {
+		t.Errorf("v1 frame decoded as %+v", env)
+	}
+
+	// A hand-built v1 frame, as the old protocol wrote it.
+	legacy := []byte(`{"type":"authenticate","body":{"capture":{"beeps":[[[1]]],"sample_rate":48000}}}`)
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(len(legacy)))
+	env, err = Read(io.MultiReader(bytes.NewReader(prefix[:]), bytes.NewReader(legacy)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != TypeAuthRequest || env.Version != 0 {
+		t.Errorf("legacy frame decoded as %+v", env)
+	}
+	var req AuthRequest
+	if err := DecodeBody(env, &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Capture.SampleRate != 48000 {
+		t.Errorf("legacy body lost fields: %+v", req)
+	}
+
+	// v2 sender → v2 reader: version and request ID survive.
+	buf.Reset()
+	v2, err := NewEnvelope(TypeRetrainRequest, "req-42", RetrainRequest{Wait: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEnvelope(&buf, v2); err != nil {
+		t.Fatal(err)
+	}
+	env, err = Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Version != Version || env.RequestID != "req-42" || env.Type != TypeRetrainRequest {
+		t.Errorf("v2 frame decoded as %+v", env)
+	}
+	var rt RetrainRequest
+	if err := DecodeBody(env, &rt); err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Wait {
+		t.Error("v2 body lost fields")
+	}
+
+	// A v1 reader (ignoring unknown keys, as encoding/json does) still
+	// understands a v2 frame.
+	var v1View struct {
+		Type MsgType         `json:"type"`
+		Body json.RawMessage `json:"body"`
+	}
+	raw, err := json.Marshal(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &v1View); err != nil {
+		t.Fatal(err)
+	}
+	if v1View.Type != TypeRetrainRequest {
+		t.Errorf("v1 view of v2 frame: %+v", v1View)
+	}
+}
+
+// TestUnknownTypePassesFraming documents the layering contract: framing
+// is transparent to message types — rejection of unknown types is the
+// daemon's job (answered in-band with CodeUnknownType), not the codec's.
+func TestUnknownTypePassesFraming(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, MsgType("hologram"), nil); err != nil {
+		t.Fatal(err)
+	}
+	env, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("unknown type rejected at framing layer: %v", err)
+	}
+	if env.Type != MsgType("hologram") {
+		t.Errorf("type %q", env.Type)
 	}
 }
 

@@ -1,0 +1,392 @@
+// Package registry owns the model lifecycle of the EchoImage daemon: it
+// stores enrollment images, trains versioned authenticator snapshots on a
+// single-flight background worker, and publishes each trained model by an
+// atomic pointer swap so authentication never waits on training or disk.
+//
+// Ownership split with internal/daemon: the daemon is a transport (framing,
+// deadlines, request dispatch); the registry is the state (enrollment,
+// the live model, retrain scheduling, persistence). Readers — authenticate
+// and status paths — touch only atomic snapshots; writers go through a
+// short mutex that is never held across training or I/O.
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"echoimage/internal/core"
+)
+
+// TrainFunc fits an authenticator from an enrollment snapshot. The
+// registry cancels the context when the snapshot becomes obsolete (newer
+// enrollment arrived with another retrain queued behind it).
+type TrainFunc func(ctx context.Context, cfg core.AuthConfig, enrollment map[int][]*core.AcousticImage) (*core.Authenticator, error)
+
+// ErrClosed is returned by operations on a closed registry.
+var ErrClosed = errors.New("registry: closed")
+
+// ModelInfo is per-version metadata for a published model.
+type ModelInfo struct {
+	// Version counts published models, starting at 1. A model loaded
+	// from disk at startup is version 1 with Loaded set.
+	Version int
+	// Users and Images describe the enrollment snapshot the model was
+	// trained from (zero for a loaded model, whose pools are unknown).
+	Users  int
+	Images int
+	// TrainDuration is the wall time of the successful training run.
+	TrainDuration time.Duration
+	// TrainedAt is when the model was published.
+	TrainedAt time.Time
+	// Loaded marks a model installed from disk rather than trained here.
+	Loaded bool
+}
+
+// Snapshot pairs an immutable trained model with its metadata. Snapshots
+// are never mutated after publication; readers may hold one across a swap.
+type Snapshot struct {
+	Auth *core.Authenticator
+	Info ModelInfo
+}
+
+// Stats is the enrollment-store summary, maintained as an atomic snapshot
+// so status requests never contend with enrollment writes.
+type Stats struct {
+	Users  []int // ascending registered user IDs
+	Images int
+}
+
+// Registry is the enrollment store plus versioned model registry.
+// Construct with New; methods are safe for concurrent use.
+type Registry struct {
+	cfg   core.AuthConfig
+	train TrainFunc
+	logf  func(string, ...any)
+	// modelPath, when non-empty, receives an atomically renamed copy of
+	// every trained model (written by the worker, off the request path).
+	modelPath string
+
+	model atomic.Pointer[Snapshot]
+	stats atomic.Pointer[Stats]
+
+	mu         sync.Mutex
+	enrollment map[int][]*core.AcousticImage
+	numImages  int
+	gen        int // bumped on every enrollment write
+	dirty      bool
+	trainGen   int // generation of the in-flight train's snapshot
+	cancel     context.CancelFunc
+	waiters    []waiter
+	lastErr    error
+	version    int
+	closed     bool
+
+	wake chan struct{}
+	quit chan struct{}
+	done chan struct{}
+}
+
+type waiter struct {
+	gen int
+	ch  chan error
+}
+
+// Options configures a Registry.
+type Options struct {
+	// ModelPath, when set, receives the serialized model after every
+	// successful train (atomic temp-file + rename).
+	ModelPath string
+	// Train overrides the training function; nil means
+	// core.TrainAuthenticatorContext.
+	Train TrainFunc
+	// Logf receives worker diagnostics; nil silences them.
+	Logf func(string, ...any)
+}
+
+// New builds a registry and starts its retrain worker. Call Close to stop
+// the worker and release the registry.
+func New(cfg core.AuthConfig, opts Options) *Registry {
+	train := opts.Train
+	if train == nil {
+		train = core.TrainAuthenticatorContext
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	r := &Registry{
+		cfg:        cfg,
+		train:      train,
+		logf:       logf,
+		modelPath:  opts.ModelPath,
+		enrollment: make(map[int][]*core.AcousticImage),
+		wake:       make(chan struct{}, 1),
+		quit:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	r.stats.Store(&Stats{})
+	go r.worker()
+	return r
+}
+
+// Close stops the retrain worker, cancelling any in-flight train, and
+// fails pending synchronous retrains with ErrClosed. Idempotent.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		<-r.done
+		return
+	}
+	r.closed = true
+	if r.cancel != nil {
+		r.cancel()
+	}
+	close(r.quit)
+	r.mu.Unlock()
+	<-r.done
+}
+
+// AddImages appends enrollment images for a user. It never blocks on
+// training or persistence.
+func (r *Registry) AddImages(userID int, imgs []*core.AcousticImage) error {
+	if userID <= 0 {
+		return fmt.Errorf("registry: user ID %d must be positive", userID)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	r.enrollment[userID] = append(r.enrollment[userID], imgs...)
+	r.numImages += len(imgs)
+	r.gen++
+	r.publishStatsLocked()
+	return nil
+}
+
+// publishStatsLocked refreshes the atomic enrollment summary; the caller
+// holds r.mu.
+func (r *Registry) publishStatsLocked() {
+	users := make([]int, 0, len(r.enrollment))
+	for id := range r.enrollment {
+		users = append(users, id)
+	}
+	sort.Ints(users)
+	r.stats.Store(&Stats{Users: users, Images: r.numImages})
+}
+
+// RequestRetrain queues a background retrain and returns immediately.
+// Requests coalesce: any number of calls while a train is pending or in
+// flight produce at most one further training run, over the freshest
+// enrollment snapshot. An in-flight train over an already-stale snapshot
+// is cancelled so the worker restarts on current data.
+func (r *Registry) RequestRetrain() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	r.requestRetrainLocked()
+	return nil
+}
+
+func (r *Registry) requestRetrainLocked() {
+	if r.cancel != nil && r.trainGen == r.gen {
+		return // the in-flight train already covers the current data
+	}
+	r.dirty = true
+	if r.cancel != nil {
+		r.cancel() // obsolete snapshot; the worker will re-run
+	}
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Retrain queues a retrain and blocks until a training run covering the
+// current enrollment generation completes, returning its error. This is
+// the v1 synchronous semantics; the train itself still runs on the worker
+// so concurrent authentications are never stalled.
+func (r *Registry) Retrain(ctx context.Context) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	ch := make(chan error, 1)
+	r.waiters = append(r.waiters, waiter{gen: r.gen, ch: ch})
+	r.requestRetrainLocked()
+	r.mu.Unlock()
+	select {
+	case err := <-ch:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker is the single-flight retrain loop: it drains the dirty flag,
+// trains over a snapshot of the enrollment pools, publishes the result by
+// atomic swap, persists off the lock, and repeats until the flag stays
+// clear.
+func (r *Registry) worker() {
+	defer close(r.done)
+	for {
+		select {
+		case <-r.quit:
+			r.failWaiters(ErrClosed)
+			return
+		case <-r.wake:
+		}
+		for {
+			r.mu.Lock()
+			if r.closed {
+				r.mu.Unlock()
+				r.failWaiters(ErrClosed)
+				return
+			}
+			if !r.dirty {
+				r.mu.Unlock()
+				break
+			}
+			r.dirty = false
+			gen := r.gen
+			snap := make(map[int][]*core.AcousticImage, len(r.enrollment))
+			for id, imgs := range r.enrollment {
+				snap[id] = imgs // image slices are append-only; sharing is safe
+			}
+			users, images := len(snap), r.numImages
+			ctx, cancel := context.WithCancel(context.Background())
+			r.trainGen = gen
+			r.cancel = cancel
+			r.mu.Unlock()
+
+			start := time.Now()
+			auth, err := r.train(ctx, r.cfg, snap)
+			elapsed := time.Since(start)
+			cancel()
+
+			r.mu.Lock()
+			r.cancel = nil
+			if err != nil {
+				if r.dirty && ctx.Err() != nil {
+					// Cancelled because fresher data queued a re-run:
+					// waiters stay parked; the covering train resolves them.
+					r.mu.Unlock()
+					continue
+				}
+				r.lastErr = err
+				notify := r.takeWaitersLocked(gen)
+				r.mu.Unlock()
+				r.logf("registry: train failed: %v", err)
+				for _, w := range notify {
+					w.ch <- err
+				}
+				continue
+			}
+			r.version++
+			info := ModelInfo{
+				Version:       r.version,
+				Users:         users,
+				Images:        images,
+				TrainDuration: elapsed,
+				TrainedAt:     time.Now(),
+			}
+			r.model.Store(&Snapshot{Auth: auth, Info: info})
+			r.lastErr = nil
+			notify := r.takeWaitersLocked(gen)
+			r.mu.Unlock()
+
+			r.logf("registry: published model v%d (%d users, %d images, trained in %v)",
+				info.Version, users, images, elapsed.Round(time.Millisecond))
+			if r.modelPath != "" {
+				if perr := persist(r.modelPath, auth); perr != nil {
+					r.logf("registry: persist model v%d: %v", info.Version, perr)
+				}
+			}
+			for _, w := range notify {
+				w.ch <- nil
+			}
+		}
+	}
+}
+
+// takeWaitersLocked removes and returns the waiters whose enrollment
+// generation is covered by a train over generation gen; the caller holds
+// r.mu.
+func (r *Registry) takeWaitersLocked(gen int) []waiter {
+	var notify, keep []waiter
+	for _, w := range r.waiters {
+		if w.gen <= gen {
+			notify = append(notify, w)
+		} else {
+			keep = append(keep, w)
+		}
+	}
+	r.waiters = keep
+	return notify
+}
+
+func (r *Registry) failWaiters(err error) {
+	r.mu.Lock()
+	ws := r.waiters
+	r.waiters = nil
+	r.mu.Unlock()
+	for _, w := range ws {
+		w.ch <- err
+	}
+}
+
+// persist writes the model atomically: temp file in the destination
+// directory, then rename.
+func persist(path string, auth *core.Authenticator) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".model-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := auth.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Install publishes an externally built model (typically loaded from
+// disk at startup) as the next version.
+func (r *Registry) Install(auth *core.Authenticator) {
+	r.mu.Lock()
+	r.version++
+	info := ModelInfo{Version: r.version, TrainedAt: time.Now(), Loaded: true}
+	r.model.Store(&Snapshot{Auth: auth, Info: info})
+	r.mu.Unlock()
+}
+
+// Snapshot returns the current published model, or nil before the first
+// train. The returned snapshot is immutable.
+func (r *Registry) Snapshot() *Snapshot { return r.model.Load() }
+
+// Stats returns the enrollment-store summary from its atomic snapshot.
+func (r *Registry) Stats() Stats { return *r.stats.Load() }
+
+// LastError reports the most recent training failure, cleared by the next
+// successful train.
+func (r *Registry) LastError() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastErr
+}

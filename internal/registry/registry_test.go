@@ -1,0 +1,335 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"echoimage/internal/core"
+)
+
+// stubImages builds placeholder enrollment images; the stub trainers in
+// this file never dereference them.
+func stubImages(n int) []*core.AcousticImage {
+	imgs := make([]*core.AcousticImage, n)
+	for i := range imgs {
+		imgs[i] = &core.AcousticImage{}
+	}
+	return imgs
+}
+
+func instantTrain(ctx context.Context, cfg core.AuthConfig, enr map[int][]*core.AcousticImage) (*core.Authenticator, error) {
+	return &core.Authenticator{}, nil
+}
+
+func waitVersion(t *testing.T, r *Registry, version int) *Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if snap := r.Snapshot(); snap != nil && snap.Info.Version >= version {
+			return snap
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("model version %d not published", version)
+	return nil
+}
+
+func TestRetrainPublishesVersionedSnapshots(t *testing.T) {
+	r := New(core.AuthConfig{}, Options{Train: instantTrain})
+	defer r.Close()
+
+	if r.Snapshot() != nil {
+		t.Fatal("snapshot before any train")
+	}
+	if err := r.AddImages(1, stubImages(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddImages(2, stubImages(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Retrain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap := r.Snapshot()
+	if snap == nil {
+		t.Fatal("no snapshot after synchronous retrain")
+	}
+	if snap.Info.Version != 1 || snap.Info.Users != 2 || snap.Info.Images != 5 {
+		t.Errorf("info %+v", snap.Info)
+	}
+	if snap.Info.Loaded {
+		t.Error("trained model marked as loaded")
+	}
+
+	if err := r.AddImages(3, stubImages(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Retrain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap2 := r.Snapshot()
+	if snap2.Info.Version != 2 || snap2.Info.Users != 3 || snap2.Info.Images != 6 {
+		t.Errorf("second info %+v", snap2.Info)
+	}
+
+	stats := r.Stats()
+	if len(stats.Users) != 3 || stats.Images != 6 {
+		t.Errorf("stats %+v", stats)
+	}
+}
+
+// TestRequestRetrainCoalesces issues a burst of retrain requests while a
+// train is in flight and checks they collapse into one follow-up run.
+func TestRequestRetrainCoalesces(t *testing.T) {
+	var calls atomic.Int32
+	started := make(chan struct{}, 8)
+	proceed := make(chan struct{})
+	train := func(ctx context.Context, cfg core.AuthConfig, enr map[int][]*core.AcousticImage) (*core.Authenticator, error) {
+		calls.Add(1)
+		started <- struct{}{}
+		<-proceed
+		return &core.Authenticator{}, nil
+	}
+	r := New(core.AuthConfig{}, Options{Train: train})
+	defer r.Close()
+
+	if err := r.AddImages(1, stubImages(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RequestRetrain(); err != nil {
+		t.Fatal(err)
+	}
+	<-started // train #1 in flight
+	// Requests with no new enrollment are covered by the in-flight run.
+	for i := 0; i < 5; i++ {
+		if err := r.RequestRetrain(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	proceed <- struct{}{}
+	waitVersion(t, r, 1)
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("%d training runs for 6 same-data requests, want 1", got)
+	}
+
+	// New enrollment plus another burst: exactly one further run.
+	if err := r.AddImages(2, stubImages(1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := r.RequestRetrain(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-started
+	proceed <- struct{}{}
+	waitVersion(t, r, 2)
+	if got := calls.Load(); got != 2 {
+		t.Errorf("%d training runs total, want 2", got)
+	}
+}
+
+// TestObsoleteTrainCancelled enrolls fresh data mid-train and checks the
+// stale run is cancelled and superseded by one over the new snapshot.
+func TestObsoleteTrainCancelled(t *testing.T) {
+	var calls atomic.Int32
+	started := make(chan struct{}, 4)
+	cancelled := make(chan error, 1)
+	train := func(ctx context.Context, cfg core.AuthConfig, enr map[int][]*core.AcousticImage) (*core.Authenticator, error) {
+		if calls.Add(1) == 1 {
+			<-ctx.Done() // park until the registry cancels this stale run
+			cancelled <- ctx.Err()
+			return nil, ctx.Err()
+		}
+		started <- struct{}{}
+		return &core.Authenticator{}, nil
+	}
+	r := New(core.AuthConfig{}, Options{Train: train})
+	defer r.Close()
+
+	if err := r.AddImages(1, stubImages(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RequestRetrain(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for train #1 to be in flight, then make its snapshot stale.
+	deadline := time.Now().Add(5 * time.Second)
+	for calls.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := r.AddImages(1, stubImages(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RequestRetrain(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-cancelled:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("stale train saw %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stale train was not cancelled")
+	}
+	snap := waitVersion(t, r, 1)
+	if snap.Info.Images != 3 {
+		t.Errorf("published model trained on %d images, want the fresh 3", snap.Info.Images)
+	}
+}
+
+func TestSyncRetrainPropagatesError(t *testing.T) {
+	trainErr := fmt.Errorf("no separable classes")
+	fail := true
+	var mu sync.Mutex
+	train := func(ctx context.Context, cfg core.AuthConfig, enr map[int][]*core.AcousticImage) (*core.Authenticator, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if fail {
+			return nil, trainErr
+		}
+		return &core.Authenticator{}, nil
+	}
+	r := New(core.AuthConfig{}, Options{Train: train})
+	defer r.Close()
+
+	if err := r.AddImages(1, stubImages(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Retrain(context.Background()); !errors.Is(err, trainErr) {
+		t.Fatalf("Retrain error %v, want %v", err, trainErr)
+	}
+	if r.Snapshot() != nil {
+		t.Error("failed train published a snapshot")
+	}
+	if err := r.LastError(); !errors.Is(err, trainErr) {
+		t.Errorf("LastError %v", err)
+	}
+
+	mu.Lock()
+	fail = false
+	mu.Unlock()
+	if err := r.Retrain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.LastError(); err != nil {
+		t.Errorf("LastError not cleared after success: %v", err)
+	}
+}
+
+func TestPersistsModelAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	r := New(core.AuthConfig{}, Options{Train: instantTrain, ModelPath: path})
+	defer r.Close()
+
+	if err := r.AddImages(1, stubImages(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Retrain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("model not persisted: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Error("persisted model is empty")
+	}
+	leftovers, _ := filepath.Glob(filepath.Join(dir, ".model-*"))
+	if len(leftovers) != 0 {
+		t.Errorf("temp files left behind: %v", leftovers)
+	}
+}
+
+func TestInstallPublishesLoadedModel(t *testing.T) {
+	r := New(core.AuthConfig{}, Options{Train: instantTrain})
+	defer r.Close()
+	r.Install(&core.Authenticator{})
+	snap := r.Snapshot()
+	if snap == nil || snap.Info.Version != 1 || !snap.Info.Loaded {
+		t.Fatalf("snapshot %+v", snap)
+	}
+}
+
+func TestCloseFailsPendingAndFutureOps(t *testing.T) {
+	block := make(chan struct{})
+	train := func(ctx context.Context, cfg core.AuthConfig, enr map[int][]*core.AcousticImage) (*core.Authenticator, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return nil, ctx.Err()
+	}
+	r := New(core.AuthConfig{}, Options{Train: train})
+	if err := r.AddImages(1, stubImages(1)); err != nil {
+		t.Fatal(err)
+	}
+	retrainDone := make(chan error, 1)
+	go func() { retrainDone <- r.Retrain(context.Background()) }()
+	time.Sleep(10 * time.Millisecond) // let the waiter park
+	r.Close()
+	select {
+	case err := <-retrainDone:
+		if err == nil {
+			t.Error("pending retrain succeeded across Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending retrain not released by Close")
+	}
+	if err := r.AddImages(2, stubImages(1)); !errors.Is(err, ErrClosed) {
+		t.Errorf("AddImages after Close: %v", err)
+	}
+	if err := r.RequestRetrain(); !errors.Is(err, ErrClosed) {
+		t.Errorf("RequestRetrain after Close: %v", err)
+	}
+	r.Close() // idempotent
+}
+
+// TestConcurrentReadersNeverBlock hammers snapshot/stats readers while
+// writers enroll and retrain; run under -race this doubles as the data
+// race proof for the atomic-swap design.
+func TestConcurrentReadersNeverBlock(t *testing.T) {
+	r := New(core.AuthConfig{}, Options{Train: instantTrain})
+	defer r.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if snap := r.Snapshot(); snap != nil {
+					_ = snap.Info.Version
+				}
+				_ = r.Stats()
+			}
+		}()
+	}
+	for u := 1; u <= 8; u++ {
+		if err := r.AddImages(u, stubImages(2)); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Retrain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if snap := r.Snapshot(); snap.Info.Users != 8 {
+		t.Errorf("final snapshot %+v", snap.Info)
+	}
+}
