@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-ci bench-report ci
+.PHONY: build test vet race bench bench-ci bench-report telemetry-smoke ci
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,11 @@ vet:
 	$(GO) vet ./...
 
 # Race-detector sweep over every package; the concurrency property tests
-# (plan reuse, pooled extraction, worker-pool shutdown) are written for this.
+# (plan reuse, pooled extraction, worker-pool shutdown, telemetry
+# hammering) are written for this. Run `make vet race` for the full
+# pre-merge gate — ci already covers vet, so race does not repeat it.
 race:
-	$(GO) vet ./... && $(GO) test -race ./...
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -24,8 +26,29 @@ bench:
 bench-ci:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem .
 
-# Append a labelled benchmark run to BENCH_1.json (see EXPERIMENTS.md).
+# Append a labelled benchmark run to BENCH_3.json (see EXPERIMENTS.md;
+# BENCH_1.json holds the PR-1 optimization trajectory, BENCH_3.json the
+# post-telemetry runs).
 bench-report:
-	$(GO) run ./cmd/bench-report -benchtime 1x -o BENCH_1.json -label local -append
+	$(GO) run ./cmd/bench-report -benchtime 1x -o BENCH_3.json -label local -append
+
+# Boot echoimaged with the admin listener, probe /healthz and /metrics,
+# and shut it down: proves the observability endpoints answer on a real
+# daemon, not just under httptest.
+telemetry-smoke:
+	$(GO) build -o /tmp/echoimaged-smoke ./cmd/echoimaged
+	@/tmp/echoimaged-smoke -listen 127.0.0.1:17465 -admin-addr 127.0.0.1:17466 & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	ok=0; \
+	for i in $$(seq 1 50); do \
+		if curl -fsS http://127.0.0.1:17466/healthz >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	[ $$ok -eq 1 ] || { echo "telemetry-smoke: /healthz never answered" >&2; exit 1; }; \
+	curl -fsS http://127.0.0.1:17466/metrics | grep '^echoimage_daemon_connections_total' >/dev/null \
+		|| { echo "telemetry-smoke: /metrics missing daemon series" >&2; exit 1; }; \
+	kill $$pid; wait $$pid 2>/dev/null; \
+	echo "telemetry-smoke: ok"
 
 ci: vet test bench-ci

@@ -38,6 +38,7 @@ type client struct {
 	conn    net.Conn
 	pc      *proto.Conn
 	timeout time.Duration
+	verbose bool
 	seq     int
 }
 
@@ -56,10 +57,14 @@ func (c *client) call(msgType proto.MsgType, body any, want proto.MsgType, into 
 			return err
 		}
 	}
+	start := time.Now()
 	if err := c.pc.SendEnvelope(env); err != nil {
 		return err
 	}
 	resp, err := c.pc.Receive()
+	if c.verbose {
+		fmt.Fprintf(os.Stderr, "%s: round trip %v\n", msgType, time.Since(start).Round(time.Millisecond))
+	}
 	if err != nil {
 		return fmt.Errorf("awaiting %s: %w", want, err)
 	}
@@ -88,6 +93,7 @@ func (c *client) call(msgType proto.MsgType, body any, want proto.MsgType, into 
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:7465", "daemon address")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request deadline; 0 waits forever")
+	verbose := flag.Bool("v", false, "print per-request round-trip latency to stderr")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		return fmt.Errorf("usage: echoimage-client [-addr host:port] [-timeout 2m] enroll|auth|retrain|info|status [flags]")
@@ -115,7 +121,7 @@ func run() error {
 		return fmt.Errorf("dial %s: %w", *addr, err)
 	}
 	defer conn.Close()
-	c := &client{conn: conn, pc: proto.NewConn(conn), timeout: *timeout}
+	c := &client{conn: conn, pc: proto.NewConn(conn), timeout: *timeout, verbose: *verbose}
 
 	switch cmd {
 	case "status":

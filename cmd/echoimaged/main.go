@@ -7,6 +7,12 @@
 // Usage:
 //
 //	echoimaged -listen 127.0.0.1:7465 -grid 36 -spacing 0.05
+//	echoimaged -listen 127.0.0.1:7465 -admin-addr 127.0.0.1:7466
+//
+// With -admin-addr the daemon serves its observability endpoints —
+// /metrics (Prometheus text), /varz (JSON snapshot with recent request
+// traces), /healthz and /debug/pprof/* — on a separate listener, so
+// scraping and profiling never compete with the authentication socket.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -23,6 +30,7 @@ import (
 	"echoimage/internal/array"
 	"echoimage/internal/core"
 	"echoimage/internal/daemon"
+	"echoimage/internal/telemetry"
 )
 
 func main() {
@@ -40,6 +48,7 @@ func run() error {
 	maxCaptures := flag.Int("max-captures", 0, "max concurrently processed captures (0 = GOMAXPROCS)")
 	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "drop a connection idle for this long (0 = never)")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "per-response write deadline (0 = none)")
+	adminAddr := flag.String("admin-addr", "", "serve /metrics, /varz, /healthz and /debug/pprof on this address (empty = disabled)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -63,8 +72,31 @@ func run() error {
 		MaxCaptures:  *maxCaptures,
 		ReadTimeout:  *idleTimeout,
 		WriteTimeout: *writeTimeout,
+		Telemetry:    telemetry.NewRegistry(),
 	})
 	defer srv.Close()
+
+	if *adminAddr != "" {
+		adminLn, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			return fmt.Errorf("admin listen: %w", err)
+		}
+		admin := &http.Server{Handler: telemetry.AdminHandler(telemetry.AdminOptions{
+			Registry: srv.Telemetry(),
+			Traces:   srv.Traces(),
+			Varz: map[string]func() any{
+				"status": func() any { return srv.Status() },
+				"model":  func() any { return srv.ModelInfo() },
+			},
+		})}
+		go func() {
+			if err := admin.Serve(adminLn); err != nil && err != http.ErrServerClosed {
+				log.Printf("admin server: %v", err)
+			}
+		}()
+		defer admin.Close()
+		log.Printf("admin endpoints on http://%s (/metrics /varz /healthz /debug/pprof)", adminLn.Addr())
+	}
 	if *modelPath != "" {
 		if f, err := os.Open(*modelPath); err == nil {
 			loadErr := srv.LoadModel(f)

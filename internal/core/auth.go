@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"echoimage/internal/features"
 	"echoimage/internal/svm"
@@ -296,6 +297,13 @@ func extractImage(ext *features.Extractor, img *AcousticImage) []float64 {
 // acoustic image: pick the plane bin's model, gate with SVDD, then identify
 // with the n-class SVM.
 func (a *Authenticator) Authenticate(img *AcousticImage) AuthResult {
+	return a.authenticate(img, nil)
+}
+
+// authenticate is the single-image decision with optional stage timing:
+// a non-nil recorder receives the feature-extraction (incl. whitening)
+// and gate+identification durations.
+func (a *Authenticator) authenticate(img *AcousticImage, rec StageRecorder) AuthResult {
 	bin := int(math.Round(img.PlaneDistM / a.binWidth))
 	bm := a.bins[bin]
 	if bm == nil {
@@ -313,9 +321,18 @@ func (a *Authenticator) Authenticate(img *AcousticImage) AuthResult {
 	if bm == nil {
 		return AuthResult{Accepted: false, GateScore: -1, Bin: bin}
 	}
+	var mark time.Time
+	if rec != nil {
+		mark = time.Now()
+	}
 	x := extractImage(a.extractor, img)
 	if bm.whiten != nil {
 		x = bm.whiten.Apply(x)
+	}
+	if rec != nil {
+		now := time.Now()
+		rec.RecordStage(StageFeatures, now.Sub(mark))
+		mark = now
 	}
 	// Identify first, then verify against the identified user's own
 	// sphere when per-user gates exist; otherwise (or when the user has
@@ -329,7 +346,11 @@ func (a *Authenticator) Authenticate(img *AcousticImage) AuthResult {
 		gate = ug
 	}
 	score := gate.Score(x)
-	if !gate.Accept(x) {
+	accepted := gate.Accept(x)
+	if rec != nil {
+		rec.RecordStage(StageClassify, time.Since(mark))
+	}
+	if !accepted {
 		return AuthResult{Accepted: false, GateScore: score, Bin: bin}
 	}
 	return AuthResult{Accepted: true, UserID: candidate, GateScore: score, Bin: bin}
@@ -340,6 +361,13 @@ func (a *Authenticator) Authenticate(img *AcousticImage) AuthResult {
 // images pass the gate, and the identified user is the modal identity among
 // accepted images.
 func (a *Authenticator) AuthenticateMajority(imgs []*AcousticImage) (AuthResult, error) {
+	return a.AuthenticateMajorityRecorded(imgs, nil)
+}
+
+// AuthenticateMajorityRecorded is AuthenticateMajority with stage
+// instrumentation: a non-nil recorder receives one features span and one
+// classify span per image.
+func (a *Authenticator) AuthenticateMajorityRecorded(imgs []*AcousticImage, rec StageRecorder) (AuthResult, error) {
 	if len(imgs) == 0 {
 		return AuthResult{}, fmt.Errorf("core: no images to authenticate")
 	}
@@ -347,7 +375,7 @@ func (a *Authenticator) AuthenticateMajority(imgs []*AcousticImage) (AuthResult,
 	idVotes := make(map[int]int)
 	var scoreSum float64
 	for _, img := range imgs {
-		r := a.Authenticate(img)
+		r := a.authenticate(img, rec)
 		scoreSum += r.GateScore
 		if r.Accepted {
 			accepted++

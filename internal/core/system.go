@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"echoimage/internal/array"
 )
@@ -54,13 +55,34 @@ type ProcessResult struct {
 // analytic conversion and noise covariance are computed once, not per
 // stage.
 func (s *System) Process(cap *Capture, noiseOnly [][]float64) (*ProcessResult, error) {
+	return s.ProcessRecorded(cap, noiseOnly, nil)
+}
+
+// ProcessRecorded is Process with stage instrumentation: a non-nil
+// recorder receives the preprocess, ranging and imaging durations as
+// they complete. A nil recorder adds no work to the hot path.
+func (s *System) ProcessRecorded(cap *Capture, noiseOnly [][]float64, rec StageRecorder) (*ProcessResult, error) {
+	var mark time.Time
+	if rec != nil {
+		mark = time.Now()
+	}
 	pre, err := preprocess(s.cfg, cap, noiseOnly)
 	if err != nil {
 		return nil, fmt.Errorf("core: distance estimation: %w", err)
 	}
+	if rec != nil {
+		now := time.Now()
+		rec.RecordStage(StagePreprocess, now.Sub(mark))
+		mark = now
+	}
 	dist, err := s.ranger.estimate(cap.SampleRate, pre, true)
 	if err != nil {
 		return nil, fmt.Errorf("core: distance estimation: %w", err)
+	}
+	if rec != nil {
+		now := time.Now()
+		rec.RecordStage(StageRanging, now.Sub(mark))
+		mark = now
 	}
 	plane := dist.UserM
 	if q := s.cfg.PlaneQuantizeM; q > 0 {
@@ -72,6 +94,9 @@ func (s *System) Process(cap *Capture, noiseOnly [][]float64) (*ProcessResult, e
 	imgs, err := s.imager.constructAll(cap, plane, dist.EmissionSec, noiseOnly, pre)
 	if err != nil {
 		return nil, fmt.Errorf("core: image construction: %w", err)
+	}
+	if rec != nil {
+		rec.RecordStage(StageImaging, time.Since(mark))
 	}
 	return &ProcessResult{Distance: dist, Images: imgs}, nil
 }

@@ -20,6 +20,7 @@ import (
 	"echoimage/internal/core"
 	"echoimage/internal/proto"
 	"echoimage/internal/registry"
+	"echoimage/internal/telemetry"
 )
 
 // Options tunes the transport layer.
@@ -37,6 +38,12 @@ type Options struct {
 	WriteTimeout time.Duration
 	// Train overrides the registry training function (tests).
 	Train registry.TrainFunc
+	// Telemetry receives the daemon's and registry's runtime metrics
+	// (request counters, latency and pipeline-stage histograms, error
+	// codes, retrain churn). Nil builds a private registry, still
+	// readable via Server.Telemetry — instrumentation is always on, it
+	// is only exposition that is optional.
+	Telemetry *telemetry.Registry
 }
 
 // Server is the daemon transport. Construct with New or NewWithOptions;
@@ -48,6 +55,9 @@ type Server struct {
 	readTO     time.Duration
 	writeTO    time.Duration
 	captureSem chan struct{}
+	tel        *telemetry.Registry
+	met        serverMetrics
+	traces     *telemetry.TraceLog
 }
 
 // New builds a server with default options around a sensing pipeline.
@@ -66,22 +76,37 @@ func NewWithOptions(sys *core.System, authCfg core.AuthConfig, logf func(string,
 	if maxCap <= 0 {
 		maxCap = runtime.GOMAXPROCS(0)
 	}
+	tel := opts.Telemetry
+	if tel == nil {
+		tel = telemetry.NewRegistry()
+	}
 	return &Server{
 		sys: sys,
 		reg: registry.New(authCfg, registry.Options{
 			ModelPath: opts.ModelPath,
 			Train:     opts.Train,
 			Logf:      logf,
+			Telemetry: tel,
 		}),
 		logf:       logf,
 		readTO:     opts.ReadTimeout,
 		writeTO:    opts.WriteTimeout,
 		captureSem: make(chan struct{}, maxCap),
+		tel:        tel,
+		met:        newServerMetrics(tel),
+		traces:     telemetry.NewTraceLog(traceCapacity),
 	}
 }
 
 // Registry exposes the model registry (status inspection, tests).
 func (s *Server) Registry() *registry.Registry { return s.reg }
+
+// Telemetry exposes the metric registry the daemon records into, for
+// serving /metrics and /varz on an admin listener.
+func (s *Server) Telemetry() *telemetry.Registry { return s.tel }
+
+// Traces exposes the ring of recent per-request pipeline traces.
+func (s *Server) Traces() *telemetry.TraceLog { return s.traces }
 
 // Close stops the background retrain worker, cancelling any in-flight
 // train. In-flight connections are not interrupted.
@@ -143,6 +168,9 @@ func coded(code string, err error) *srvError { return &srvError{code: code, err:
 // client's request ID echoed. Errors are answered in-band with a stable
 // code; only transport failures drop the connection.
 func (s *Server) ServeConn(ctx context.Context, conn io.ReadWriter) {
+	s.met.connsTotal.Inc()
+	s.met.connsActive.Inc()
+	defer s.met.connsActive.Dec()
 	pc := proto.NewConn(conn)
 	dl, hasDeadlines := conn.(deadlineConn)
 	// A connection accepted before shutdown may outlive ctx; cap reads so
@@ -164,22 +192,31 @@ func (s *Server) ServeConn(ctx context.Context, conn io.ReadWriter) {
 			}
 			return
 		}
-		resp, herr := s.handle(ctx, env)
+		// Each request gets a trace keyed by its request ID; the stage
+		// recorder feeds both the shared latency histograms and the trace.
+		start := time.Now()
+		tr := telemetry.NewTrace(env.RequestID, string(env.Type))
+		s.met.inflight.Inc()
+		resp, herr := s.handle(ctx, env, &stageRecorder{stages: s.met.stages, tr: tr})
+		s.met.inflight.Dec()
+		s.met.requestCounter(env.Type).Inc()
+		s.met.requestLatency(env.Type).ObserveDuration(time.Since(start))
+		var errCode string
 		if herr != nil {
-			s.logf("daemon: %s: %v", env.Type, herr)
-			resp = reply(env, proto.TypeError)
-			body := proto.ErrorResponse{Message: herr.Error()}
+			errCode = proto.CodeInternal
 			var se *srvError
 			if errors.As(herr, &se) {
-				body.Code = se.code
-			} else {
-				body.Code = proto.CodeInternal
+				errCode = se.code
 			}
-			if resp, err = withBody(resp, body); err != nil {
+			s.met.errorCounter(errCode).Inc()
+			s.logf("daemon: %s: %v", env.Type, herr)
+			resp = reply(env, proto.TypeError)
+			if resp, err = withBody(resp, proto.ErrorResponse{Code: errCode, Message: herr.Error()}); err != nil {
 				s.logf("daemon: encode error response: %v", err)
 				return
 			}
 		}
+		s.traces.Add(tr.Finish(errCode))
 		if hasDeadlines && s.writeTO > 0 {
 			dl.SetWriteDeadline(time.Now().Add(s.writeTO))
 		}
@@ -214,8 +251,9 @@ func withBody(env *proto.Envelope, body any) (*proto.Envelope, error) {
 }
 
 // handle dispatches one request and returns the response envelope. The
-// returned error carries a stable code for the in-band error reply.
-func (s *Server) handle(ctx context.Context, env *proto.Envelope) (*proto.Envelope, error) {
+// returned error carries a stable code for the in-band error reply. rec
+// receives pipeline stage timings for capture-processing requests.
+func (s *Server) handle(ctx context.Context, env *proto.Envelope, rec core.StageRecorder) (*proto.Envelope, error) {
 	switch env.Type {
 	case proto.TypeEnrollRequest:
 		var req proto.EnrollRequest
@@ -224,7 +262,7 @@ func (s *Server) handle(ctx context.Context, env *proto.Envelope) (*proto.Envelo
 		}
 		// v1 semantics: retrain completes before the response. v2 queues
 		// the retrain on the registry worker and responds immediately.
-		resp, err := s.enroll(ctx, &req, env.Version < 2)
+		resp, err := s.enroll(ctx, &req, env.Version < 2, rec)
 		if err != nil {
 			return nil, err
 		}
@@ -234,7 +272,7 @@ func (s *Server) handle(ctx context.Context, env *proto.Envelope) (*proto.Envelo
 		if err := proto.DecodeBody(env, &req); err != nil {
 			return nil, coded(proto.CodeBadRequest, err)
 		}
-		resp, err := s.Authenticate(ctx, &req)
+		resp, err := s.authenticate(ctx, &req, rec)
 		if err != nil {
 			return nil, err
 		}
@@ -263,7 +301,7 @@ func (s *Server) handle(ctx context.Context, env *proto.Envelope) (*proto.Envelo
 // process runs the sensing pipeline on a capture under the concurrency
 // semaphore, so a burst of connections cannot oversubscribe the imaging
 // worker pools.
-func (s *Server) process(ctx context.Context, wire *proto.CaptureWire) (*core.ProcessResult, error) {
+func (s *Server) process(ctx context.Context, wire *proto.CaptureWire, rec core.StageRecorder) (*core.ProcessResult, error) {
 	select {
 	case s.captureSem <- struct{}{}:
 	case <-ctx.Done():
@@ -271,7 +309,7 @@ func (s *Server) process(ctx context.Context, wire *proto.CaptureWire) (*core.Pr
 	}
 	defer func() { <-s.captureSem }()
 	cap := &core.Capture{Beeps: wire.Beeps, SampleRate: wire.SampleRate, Reference: wire.Reference}
-	res, err := s.sys.Process(cap, wire.NoiseOnly)
+	res, err := s.sys.ProcessRecorded(cap, wire.NoiseOnly, rec)
 	if err != nil {
 		return nil, coded(proto.CodeProcess, fmt.Errorf("process capture: %w", err))
 	}
@@ -281,14 +319,20 @@ func (s *Server) process(ctx context.Context, wire *proto.CaptureWire) (*core.Pr
 // Enroll adds a capture to a user's enrollment pool with v1 semantics:
 // when retrain is requested, the new model is live before Enroll returns.
 func (s *Server) Enroll(ctx context.Context, req *proto.EnrollRequest) (*proto.EnrollResponse, error) {
-	return s.enroll(ctx, req, true)
+	return s.enroll(ctx, req, true, s.stageOnly())
 }
 
-func (s *Server) enroll(ctx context.Context, req *proto.EnrollRequest, syncRetrain bool) (*proto.EnrollResponse, error) {
+// stageOnly is the recorder for direct API calls: stage histograms move,
+// but no trace is collected (traces belong to transport requests).
+func (s *Server) stageOnly() core.StageRecorder {
+	return &stageRecorder{stages: s.met.stages}
+}
+
+func (s *Server) enroll(ctx context.Context, req *proto.EnrollRequest, syncRetrain bool, rec core.StageRecorder) (*proto.EnrollResponse, error) {
 	if req.UserID <= 0 {
 		return nil, coded(proto.CodeBadRequest, fmt.Errorf("user ID %d must be positive", req.UserID))
 	}
-	res, err := s.process(ctx, &req.Capture)
+	res, err := s.process(ctx, &req.Capture, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -323,15 +367,19 @@ func (s *Server) enroll(ctx context.Context, req *proto.EnrollRequest, syncRetra
 // waits on training: the previous model answers until the registry swaps
 // in the next one.
 func (s *Server) Authenticate(ctx context.Context, req *proto.AuthRequest) (*proto.AuthResponse, error) {
+	return s.authenticate(ctx, req, s.stageOnly())
+}
+
+func (s *Server) authenticate(ctx context.Context, req *proto.AuthRequest, rec core.StageRecorder) (*proto.AuthResponse, error) {
 	snap := s.reg.Snapshot()
 	if snap == nil {
 		return nil, coded(proto.CodeNotTrained, fmt.Errorf("no trained model: enroll users with retrain=true first"))
 	}
-	res, err := s.process(ctx, &req.Capture)
+	res, err := s.process(ctx, &req.Capture, rec)
 	if err != nil {
 		return nil, err
 	}
-	decision, err := snap.Auth.AuthenticateMajority(res.Images)
+	decision, err := snap.Auth.AuthenticateMajorityRecorded(res.Images, rec)
 	if err != nil {
 		return nil, coded(proto.CodeInternal, fmt.Errorf("authenticate: %w", err))
 	}

@@ -461,4 +461,3 @@ func TestRetrainMessage(t *testing.T) {
 		t.Errorf("waited retrain got %+v", rt)
 	}
 }
-

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"echoimage/internal/core"
+	"echoimage/internal/telemetry"
 )
 
 // TrainFunc fits an authenticator from an enrollment snapshot. The
@@ -91,6 +92,43 @@ type Registry struct {
 	wake chan struct{}
 	quit chan struct{}
 	done chan struct{}
+
+	met regMetrics
+}
+
+// regMetrics is the registry's runtime instrumentation: retrain churn,
+// training durations, and the live snapshot version. All fields are
+// registered at construction so updates are single atomic operations.
+type regMetrics struct {
+	trainsStarted   *telemetry.Counter
+	trainsCoalesced *telemetry.Counter
+	trainsCancelled *telemetry.Counter
+	trainsFailed    *telemetry.Counter
+	trainSeconds    *telemetry.Histogram
+	modelVersion    *telemetry.Gauge
+	enrolledUsers   *telemetry.Gauge
+	enrolledImages  *telemetry.Gauge
+}
+
+func newRegMetrics(tel *telemetry.Registry) regMetrics {
+	return regMetrics{
+		trainsStarted: tel.Counter("echoimage_registry_trains_started_total",
+			"Training runs begun by the retrain worker."),
+		trainsCoalesced: tel.Counter("echoimage_registry_trains_coalesced_total",
+			"Retrain requests absorbed by an already pending or covering run."),
+		trainsCancelled: tel.Counter("echoimage_registry_trains_cancelled_total",
+			"In-flight training runs cancelled because their snapshot went stale."),
+		trainsFailed: tel.Counter("echoimage_registry_trains_failed_total",
+			"Training runs that ended in an error (stale-cancelled runs excluded)."),
+		trainSeconds: tel.Histogram("echoimage_registry_train_seconds",
+			"Wall time of successful training runs.", telemetry.TrainBuckets),
+		modelVersion: tel.Gauge("echoimage_registry_model_version",
+			"Version of the live published model snapshot (0 before the first)."),
+		enrolledUsers: tel.Gauge("echoimage_registry_enrolled_users",
+			"Users with at least one enrollment image."),
+		enrolledImages: tel.Gauge("echoimage_registry_enrolled_images",
+			"Enrollment images across all users."),
+	}
 }
 
 type waiter struct {
@@ -108,6 +146,9 @@ type Options struct {
 	Train TrainFunc
 	// Logf receives worker diagnostics; nil silences them.
 	Logf func(string, ...any)
+	// Telemetry receives the registry's runtime metrics; nil records
+	// into a private unexposed registry so update paths stay branch-free.
+	Telemetry *telemetry.Registry
 }
 
 // New builds a registry and starts its retrain worker. Call Close to stop
@@ -121,6 +162,10 @@ func New(cfg core.AuthConfig, opts Options) *Registry {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	tel := opts.Telemetry
+	if tel == nil {
+		tel = telemetry.NewRegistry()
+	}
 	r := &Registry{
 		cfg:        cfg,
 		train:      train,
@@ -130,6 +175,7 @@ func New(cfg core.AuthConfig, opts Options) *Registry {
 		wake:       make(chan struct{}, 1),
 		quit:       make(chan struct{}),
 		done:       make(chan struct{}),
+		met:        newRegMetrics(tel),
 	}
 	r.stats.Store(&Stats{})
 	go r.worker()
@@ -181,6 +227,8 @@ func (r *Registry) publishStatsLocked() {
 	}
 	sort.Ints(users)
 	r.stats.Store(&Stats{Users: users, Images: r.numImages})
+	r.met.enrolledUsers.Set(int64(len(users)))
+	r.met.enrolledImages.Set(int64(r.numImages))
 }
 
 // RequestRetrain queues a background retrain and returns immediately.
@@ -200,10 +248,16 @@ func (r *Registry) RequestRetrain() error {
 
 func (r *Registry) requestRetrainLocked() {
 	if r.cancel != nil && r.trainGen == r.gen {
+		r.met.trainsCoalesced.Inc()
 		return // the in-flight train already covers the current data
+	}
+	if r.dirty {
+		// A pending (not yet started) run will pick up the current data.
+		r.met.trainsCoalesced.Inc()
 	}
 	r.dirty = true
 	if r.cancel != nil {
+		r.met.trainsCancelled.Inc()
 		r.cancel() // obsolete snapshot; the worker will re-run
 	}
 	select {
@@ -270,6 +324,7 @@ func (r *Registry) worker() {
 			r.cancel = cancel
 			r.mu.Unlock()
 
+			r.met.trainsStarted.Inc()
 			start := time.Now()
 			auth, err := r.train(ctx, r.cfg, snap)
 			elapsed := time.Since(start)
@@ -287,6 +342,7 @@ func (r *Registry) worker() {
 				r.lastErr = err
 				notify := r.takeWaitersLocked(gen)
 				r.mu.Unlock()
+				r.met.trainsFailed.Inc()
 				r.logf("registry: train failed: %v", err)
 				for _, w := range notify {
 					w.ch <- err
@@ -305,6 +361,8 @@ func (r *Registry) worker() {
 			r.lastErr = nil
 			notify := r.takeWaitersLocked(gen)
 			r.mu.Unlock()
+			r.met.trainSeconds.ObserveDuration(elapsed)
+			r.met.modelVersion.Set(int64(info.Version))
 
 			r.logf("registry: published model v%d (%d users, %d images, trained in %v)",
 				info.Version, users, images, elapsed.Round(time.Millisecond))
@@ -373,6 +431,7 @@ func (r *Registry) Install(auth *core.Authenticator) {
 	r.version++
 	info := ModelInfo{Version: r.version, TrainedAt: time.Now(), Loaded: true}
 	r.model.Store(&Snapshot{Auth: auth, Info: info})
+	r.met.modelVersion.Set(int64(info.Version))
 	r.mu.Unlock()
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"echoimage/internal/core"
+	"echoimage/internal/telemetry"
 )
 
 // stubImages builds placeholder enrollment images; the stub trainers in
@@ -331,5 +332,74 @@ func TestConcurrentReadersNeverBlock(t *testing.T) {
 	wg.Wait()
 	if snap := r.Snapshot(); snap.Info.Users != 8 {
 		t.Errorf("final snapshot %+v", snap.Info)
+	}
+}
+
+// TestRetrainMetrics drives the retrain lifecycle — started, coalesced,
+// cancelled, train duration, model version — and asserts each telemetry
+// counter moves when (and only when) its event happens.
+func TestRetrainMetrics(t *testing.T) {
+	tel := telemetry.NewRegistry()
+	var calls atomic.Int32
+	cancelled := make(chan struct{}, 1)
+	train := func(ctx context.Context, cfg core.AuthConfig, enr map[int][]*core.AcousticImage) (*core.Authenticator, error) {
+		if calls.Add(1) == 1 {
+			<-ctx.Done() // stale run, cancelled by fresher enrollment
+			cancelled <- struct{}{}
+			return nil, ctx.Err()
+		}
+		return &core.Authenticator{}, nil
+	}
+	r := New(core.AuthConfig{}, Options{Train: train, Telemetry: tel})
+	defer r.Close()
+
+	counter := func(name string) uint64 { return tel.Counter(name, "").Value() }
+
+	if err := r.AddImages(1, stubImages(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RequestRetrain(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for train #1 to be in flight, then coalesce and cancel it.
+	deadline := time.Now().Add(5 * time.Second)
+	for calls.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := r.RequestRetrain(); err != nil { // same generation: coalesces
+		t.Fatal(err)
+	}
+	if got := counter("echoimage_registry_trains_coalesced_total"); got != 1 {
+		t.Errorf("coalesced %d, want 1", got)
+	}
+	if err := r.AddImages(1, stubImages(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RequestRetrain(); err != nil { // stale in-flight: cancels
+		t.Fatal(err)
+	}
+	select {
+	case <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stale train was not cancelled")
+	}
+	if got := counter("echoimage_registry_trains_cancelled_total"); got != 1 {
+		t.Errorf("cancelled %d, want 1", got)
+	}
+	waitVersion(t, r, 1)
+	if got := counter("echoimage_registry_trains_started_total"); got < 2 {
+		t.Errorf("started %d, want >= 2 (stale run + covering run)", got)
+	}
+	if got := counter("echoimage_registry_trains_failed_total"); got != 0 {
+		t.Errorf("failed %d, want 0 (stale cancellation is not a failure)", got)
+	}
+	if got := tel.Gauge("echoimage_registry_model_version", "").Value(); got != 1 {
+		t.Errorf("model version gauge %d, want 1", got)
+	}
+	if hv := tel.Histogram("echoimage_registry_train_seconds", "", nil).Value(); hv.Count != 1 {
+		t.Errorf("train histogram count %d, want 1", hv.Count)
+	}
+	if got := tel.Gauge("echoimage_registry_enrolled_images", "").Value(); got != 3 {
+		t.Errorf("enrolled images gauge %d, want 3", got)
 	}
 }

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// AdminOptions configures the admin handler.
+type AdminOptions struct {
+	// Registry provides /metrics and the "metrics" section of /varz.
+	Registry *Registry
+	// Traces, when non-nil, adds recent request traces to /varz.
+	Traces *TraceLog
+	// Health is polled by /healthz; nil means always healthy.
+	Health func() error
+	// Varz adds extra named sections to the /varz document, evaluated
+	// per request (e.g. daemon status).
+	Varz map[string]func() any
+}
+
+// AdminHandler builds the observability endpoint mux:
+//
+//	/metrics       Prometheus text exposition
+//	/varz          JSON snapshot (metrics, recent traces, extras, uptime)
+//	/healthz       200 "ok" or 503 with the health error
+//	/debug/pprof/  the standard runtime profiles
+//
+// It is served on a dedicated listener (echoimaged -admin-addr) so
+// observability never competes with the authentication socket.
+func AdminHandler(opts AdminOptions) http.Handler {
+	start := time.Now()
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if opts.Registry != nil {
+			opts.Registry.WritePrometheus(w)
+		}
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if opts.Health != nil {
+			if err := opts.Health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Write([]byte("ok\n"))
+	})
+
+	mux.HandleFunc("/varz", func(w http.ResponseWriter, req *http.Request) {
+		doc := map[string]any{
+			"uptime_seconds": time.Since(start).Seconds(),
+		}
+		if opts.Registry != nil {
+			doc["metrics"] = opts.Registry.Snapshot()
+		}
+		if opts.Traces != nil {
+			doc["traces"] = opts.Traces.Recent()
+		}
+		for name, fn := range opts.Varz {
+			doc[name] = fn()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}

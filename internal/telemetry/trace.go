@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanRecord is one pipeline stage inside a request trace. Offsets are
+// relative to the trace start.
+type SpanRecord struct {
+	Stage       string `json:"stage"`
+	StartMicros int64  `json:"start_us"`
+	DurMicros   int64  `json:"dur_us"`
+}
+
+// TraceRecord is one completed request trace, keyed by the protocol v2
+// request ID when the client supplied one.
+type TraceRecord struct {
+	RequestID string       `json:"request_id,omitempty"`
+	Type      string       `json:"type"`
+	Start     time.Time    `json:"start"`
+	DurMicros int64        `json:"dur_us"`
+	Error     string       `json:"error,omitempty"` // stable protocol error code
+	Spans     []SpanRecord `json:"spans,omitempty"`
+}
+
+// Trace accumulates stage spans for one in-flight request. A trace is
+// owned by the goroutine serving the request; it needs no locking.
+// RecordStage satisfies core.StageRecorder structurally, without this
+// package importing internal/core.
+type Trace struct {
+	rec   TraceRecord
+	begin time.Time
+}
+
+// NewTrace starts a trace for a request.
+func NewTrace(requestID, reqType string) *Trace {
+	now := time.Now()
+	return &Trace{
+		rec:   TraceRecord{RequestID: requestID, Type: reqType, Start: now},
+		begin: now,
+	}
+}
+
+// RecordStage appends a stage span. The stage is assumed to have just
+// finished after running for d, so its start offset is now-d.
+func (t *Trace) RecordStage(stage string, d time.Duration) {
+	end := time.Since(t.begin)
+	t.rec.Spans = append(t.rec.Spans, SpanRecord{
+		Stage:       stage,
+		StartMicros: (end - d).Microseconds(),
+		DurMicros:   d.Microseconds(),
+	})
+}
+
+// Finish seals the trace with the total duration and the error code of
+// the response ("" for success) and returns the record.
+func (t *Trace) Finish(errCode string) TraceRecord {
+	t.rec.DurMicros = time.Since(t.begin).Microseconds()
+	t.rec.Error = errCode
+	return t.rec
+}
+
+// TraceLog is a fixed-capacity ring of recent completed traces. Adding
+// takes a short mutex — once per request, off the stage hot path.
+type TraceLog struct {
+	mu   sync.Mutex
+	ring []TraceRecord
+	next int
+	full bool
+}
+
+// NewTraceLog builds a ring holding the last n traces (minimum 1).
+func NewTraceLog(n int) *TraceLog {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceLog{ring: make([]TraceRecord, n)}
+}
+
+// Add appends a completed trace, evicting the oldest when full.
+func (l *TraceLog) Add(rec TraceRecord) {
+	l.mu.Lock()
+	l.ring[l.next] = rec
+	l.next++
+	if l.next == len(l.ring) {
+		l.next = 0
+		l.full = true
+	}
+	l.mu.Unlock()
+}
+
+// Recent returns the stored traces, newest first.
+func (l *TraceLog) Recent() []TraceRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.full {
+		n = len(l.ring)
+	}
+	out := make([]TraceRecord, 0, n)
+	for i := 0; i < n; i++ {
+		idx := l.next - 1 - i
+		if idx < 0 {
+			idx += len(l.ring)
+		}
+		out = append(out, l.ring[idx])
+	}
+	return out
+}
