@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-ci bench-report telemetry-smoke ci
+.PHONY: build test vet race bench bench-ci bench-report telemetry-smoke fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -51,4 +51,10 @@ telemetry-smoke:
 	kill $$pid; wait $$pid 2>/dev/null; \
 	echo "telemetry-smoke: ok"
 
-ci: vet test bench-ci
+# Short fuzz run over the protocol frame reader: proves Read never
+# panics on adversarial bytes and accepted frames round-trip. The corpus
+# grows under $GOCACHE/fuzz across runs.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz=FuzzRead -fuzztime=10s ./internal/proto
+
+ci: vet test bench-ci fuzz-smoke

@@ -3,7 +3,10 @@
 // enrollment or authentication. It speaks protocol v2 — every request
 // carries a version and a request ID, and the daemon's echo is verified —
 // and applies a deadline to each round trip so a hung daemon cannot wedge
-// the client forever.
+// the client forever. Requests refused with a retryable error code
+// (unavailable, overloaded) are retried on a fresh connection with
+// exponential backoff and jitter, so a briefly saturated or restarting
+// daemon is ridden out instead of surfaced as a failure.
 //
 // Usage:
 //
@@ -15,8 +18,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"time"
@@ -30,6 +35,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "echoimage-client:", err)
 		os.Exit(1)
 	}
+}
+
+// daemonError is an in-band error response from the daemon, keeping the
+// stable protocol code so retry policy can act on it.
+type daemonError struct {
+	code    string
+	message string
+}
+
+func (e *daemonError) Error() string {
+	if e.code != "" {
+		return fmt.Sprintf("daemon error [%s]: %s", e.code, e.message)
+	}
+	return "daemon error: " + e.message
+}
+
+// retryable reports whether the error is worth retrying on a fresh
+// connection: a daemon refusal with a retryable code (unavailable,
+// overloaded) — transient by contract — qualifies; everything else
+// (bad request, auth failure, transport corruption) does not.
+func retryable(err error) bool {
+	var de *daemonError
+	return errors.As(err, &de) && proto.RetryableCode(de.code)
+}
+
+// backoffDelay is the sleep before retry attempt n (1-based):
+// exponential from base, capped, plus up to 50% random jitter so
+// simultaneously shed clients don't stampede back in lockstep.
+func backoffDelay(n int, base, cap time.Duration) time.Duration {
+	d := base << (n - 1)
+	if d > cap || d <= 0 {
+		d = cap
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
 }
 
 // client wraps the framed connection with per-round-trip deadlines and
@@ -76,10 +115,7 @@ func (c *client) call(msgType proto.MsgType, body any, want proto.MsgType, into 
 		if err := proto.DecodeBody(resp, &e); err != nil {
 			return err
 		}
-		if e.Code != "" {
-			return fmt.Errorf("daemon error [%s]: %s", e.Code, e.Message)
-		}
-		return fmt.Errorf("daemon error: %s", e.Message)
+		return &daemonError{code: e.Code, message: e.Message}
 	}
 	if resp.Type != want {
 		return fmt.Errorf("unexpected response %q (want %q)", resp.Type, want)
@@ -94,9 +130,11 @@ func run() error {
 	addr := flag.String("addr", "127.0.0.1:7465", "daemon address")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request deadline; 0 waits forever")
 	verbose := flag.Bool("v", false, "print per-request round-trip latency to stderr")
+	retries := flag.Int("retries", 4, "retry attempts after a retryable daemon refusal (unavailable, overloaded)")
+	retryBase := flag.Duration("retry-base", 200*time.Millisecond, "first retry backoff; doubles per attempt up to 5s, plus jitter")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		return fmt.Errorf("usage: echoimage-client [-addr host:port] [-timeout 2m] enroll|auth|retrain|info|status [flags]")
+		return fmt.Errorf("usage: echoimage-client [-addr host:port] [-timeout 2m] [-retries 4] enroll|auth|retrain|info|status [flags]")
 	}
 	cmd := flag.Arg(0)
 
@@ -112,21 +150,39 @@ func run() error {
 		return err
 	}
 
-	dialTO := *timeout
-	if dialTO <= 0 {
-		dialTO = time.Minute
+	// Each attempt gets a fresh connection: after a refusal the old one
+	// may be mid-shutdown, and redialing also reaches a restarted daemon.
+	withClient := func(op func(c *client) error) error {
+		dialTO := *timeout
+		if dialTO <= 0 {
+			dialTO = time.Minute
+		}
+		var err error
+		for attempt := 0; ; attempt++ {
+			err = func() error {
+				conn, derr := net.DialTimeout("tcp", *addr, dialTO)
+				if derr != nil {
+					return fmt.Errorf("dial %s: %w", *addr, derr)
+				}
+				defer conn.Close()
+				return op(&client{conn: conn, pc: proto.NewConn(conn), timeout: *timeout, verbose: *verbose})
+			}()
+			if err == nil || attempt >= *retries || !retryable(err) {
+				return err
+			}
+			delay := backoffDelay(attempt+1, *retryBase, 5*time.Second)
+			fmt.Fprintf(os.Stderr, "echoimage-client: %v; retry %d/%d in %v\n",
+				err, attempt+1, *retries, delay.Round(time.Millisecond))
+			time.Sleep(delay)
+		}
 	}
-	conn, err := net.DialTimeout("tcp", *addr, dialTO)
-	if err != nil {
-		return fmt.Errorf("dial %s: %w", *addr, err)
-	}
-	defer conn.Close()
-	c := &client{conn: conn, pc: proto.NewConn(conn), timeout: *timeout, verbose: *verbose}
 
 	switch cmd {
 	case "status":
 		var resp proto.StatusResponse
-		if err := c.call(proto.TypeStatusRequest, nil, proto.TypeStatusResponse, &resp); err != nil {
+		if err := withClient(func(c *client) error {
+			return c.call(proto.TypeStatusRequest, nil, proto.TypeStatusResponse, &resp)
+		}); err != nil {
 			return err
 		}
 		fmt.Printf("trained=%v model=v%d users=%v images=%d\n",
@@ -134,7 +190,9 @@ func run() error {
 		return nil
 	case "info":
 		var resp proto.ModelInfoResponse
-		if err := c.call(proto.TypeModelInfoRequest, nil, proto.TypeModelInfoResponse, &resp); err != nil {
+		if err := withClient(func(c *client) error {
+			return c.call(proto.TypeModelInfoRequest, nil, proto.TypeModelInfoResponse, &resp)
+		}); err != nil {
 			return err
 		}
 		if !resp.Trained {
@@ -153,7 +211,9 @@ func run() error {
 		return nil
 	case "retrain":
 		var resp proto.RetrainResponse
-		if err := c.call(proto.TypeRetrainRequest, proto.RetrainRequest{Wait: *wait}, proto.TypeRetrainResponse, &resp); err != nil {
+		if err := withClient(func(c *client) error {
+			return c.call(proto.TypeRetrainRequest, proto.RetrainRequest{Wait: *wait}, proto.TypeRetrainResponse, &resp)
+		}); err != nil {
 			return err
 		}
 		if resp.Queued {
@@ -176,9 +236,11 @@ func run() error {
 		wire := proto.CaptureWire{Beeps: cap.Beeps, SampleRate: cap.SampleRate, NoiseOnly: noiseOnly, Reference: cap.Reference}
 		if cmd == "enroll" {
 			var resp proto.EnrollResponse
-			if err := c.call(proto.TypeEnrollRequest, proto.EnrollRequest{
-				UserID: *user, Capture: wire, Retrain: *retrain,
-			}, proto.TypeEnrollResponse, &resp); err != nil {
+			if err := withClient(func(c *client) error {
+				return c.call(proto.TypeEnrollRequest, proto.EnrollRequest{
+					UserID: *user, Capture: wire, Retrain: *retrain,
+				}, proto.TypeEnrollResponse, &resp)
+			}); err != nil {
 				return err
 			}
 			trained := "trained=false"
@@ -192,7 +254,9 @@ func run() error {
 			return nil
 		}
 		var resp proto.AuthResponse
-		if err := c.call(proto.TypeAuthRequest, proto.AuthRequest{Capture: wire}, proto.TypeAuthResponse, &resp); err != nil {
+		if err := withClient(func(c *client) error {
+			return c.call(proto.TypeAuthRequest, proto.AuthRequest{Capture: wire}, proto.TypeAuthResponse, &resp)
+		}); err != nil {
 			return err
 		}
 		verdict := "REJECTED (spoofer)"

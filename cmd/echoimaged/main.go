@@ -48,6 +48,9 @@ func run() error {
 	maxCaptures := flag.Int("max-captures", 0, "max concurrently processed captures (0 = GOMAXPROCS)")
 	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "drop a connection idle for this long (0 = never)")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "per-response write deadline (0 = none)")
+	requestTimeout := flag.Duration("request-timeout", 0, "cancel a single request's pipeline work after this long (0 = no cap)")
+	queueWait := flag.Duration("queue-wait", daemon.DefaultQueueWait, "how long a capture may wait for a processing slot before being shed with code overloaded (negative = shed immediately)")
+	shutdownGrace := flag.Duration("shutdown-grace", daemon.DefaultShutdownGrace, "on SIGTERM, wait this long for in-flight connections to drain before force-closing them")
 	adminAddr := flag.String("admin-addr", "", "serve /metrics, /varz, /healthz and /debug/pprof on this address (empty = disabled)")
 	flag.Parse()
 
@@ -68,11 +71,14 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	srv := daemon.NewWithOptions(sys, core.DefaultAuthConfig(), log.Printf, daemon.Options{
-		ModelPath:    *modelPath,
-		MaxCaptures:  *maxCaptures,
-		ReadTimeout:  *idleTimeout,
-		WriteTimeout: *writeTimeout,
-		Telemetry:    telemetry.NewRegistry(),
+		ModelPath:      *modelPath,
+		MaxCaptures:    *maxCaptures,
+		ReadTimeout:    *idleTimeout,
+		WriteTimeout:   *writeTimeout,
+		RequestTimeout: *requestTimeout,
+		QueueWait:      *queueWait,
+		ShutdownGrace:  *shutdownGrace,
+		Telemetry:      telemetry.NewRegistry(),
 	})
 	defer srv.Close()
 

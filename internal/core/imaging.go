@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -93,14 +94,15 @@ func NewImagingPlan(cfg Config, bf *beamform.Beamformer, fs float64, samples int
 	if bf == nil {
 		return nil, fmt.Errorf("core: nil beamformer")
 	}
-	return buildImagingPlan(cfg, bf.WeightsFor, fs, samples, planeDist, emissionSec)
+	return buildImagingPlan(context.Background(), cfg, bf.WeightsFor, fs, samples, planeDist, emissionSec)
 }
 
 // buildImagingPlan fans the grid rows over a worker pool, solving weights
 // via solve. The row feed selects on a done channel so that a failing
 // solver can never strand the producer on an unbuffered send (all workers
-// gone, nobody left to receive).
-func buildImagingPlan(cfg Config, solve func(array.Direction) ([]complex128, error), fs float64, samples int, planeDist, emissionSec float64) (*ImagingPlan, error) {
+// gone, nobody left to receive). Cancelling ctx abandons the build between
+// rows; the partial plan is discarded and ctx's error returned.
+func buildImagingPlan(ctx context.Context, cfg Config, solve func(array.Direction) ([]complex128, error), fs float64, samples int, planeDist, emissionSec float64) (*ImagingPlan, error) {
 	if planeDist <= 0 {
 		return nil, fmt.Errorf("core: plane distance %g <= 0", planeDist)
 	}
@@ -159,6 +161,9 @@ feed:
 	for r := 0; r < p.rows; r++ {
 		select {
 		case rowCh <- r:
+		case <-ctx.Done():
+			fail(ctx.Err())
+			break feed
 		case <-done:
 			break feed
 		}
@@ -339,18 +344,20 @@ func (p *ImagingPlan) normalize(chans [][]complex128, ai *AcousticImage, refRMS 
 // With Config.ImagingSubBands > 1 each returned image additionally carries
 // per-sub-band images (frequency-diverse imaging).
 func (im *Imager) ConstructAll(cap *Capture, planeDist, emissionSec float64, noiseOnly [][]float64) ([]*AcousticImage, error) {
-	return im.constructAll(cap, planeDist, emissionSec, noiseOnly, nil)
+	return im.constructAllContext(context.Background(), cap, planeDist, emissionSec, noiseOnly, nil)
 }
 
-// constructAll runs the full-band pass (reusing pre, the already
+// constructAllContext runs the full-band pass (reusing pre, the already
 // preprocessed full-band capture, when the caller — typically
 // System.Process after ranging — provides it) and then the optional
 // sub-band passes, which always preprocess with their own filters.
-func (im *Imager) constructAll(cap *Capture, planeDist, emissionSec float64, noiseOnly [][]float64, pre *preprocessed) ([]*AcousticImage, error) {
+// Cancelling ctx abandons the construction between bands and between
+// (beep, row) render batches.
+func (im *Imager) constructAllContext(ctx context.Context, cap *Capture, planeDist, emissionSec float64, noiseOnly [][]float64, pre *preprocessed) ([]*AcousticImage, error) {
 	if planeDist <= 0 {
 		return nil, fmt.Errorf("core: plane distance %g <= 0", planeDist)
 	}
-	out, err := im.constructBand(cap, im.cfg, planeDist, emissionSec, noiseOnly, nil, pre)
+	out, err := im.constructBand(ctx, cap, im.cfg, planeDist, emissionSec, noiseOnly, nil, pre)
 	if err != nil {
 		return nil, err
 	}
@@ -360,6 +367,9 @@ func (im *Imager) constructAll(cap *Capture, planeDist, emissionSec float64, noi
 	}
 	width := (im.cfg.BandHighHz - im.cfg.BandLowHz) / float64(n)
 	for b := 0; b < n; b++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sub := im.cfg
 		sub.BandLowHz = im.cfg.BandLowHz + float64(b)*width
 		sub.BandHighHz = sub.BandLowHz + width
@@ -368,7 +378,7 @@ func (im *Imager) constructAll(cap *Capture, planeDist, emissionSec float64, noi
 		if sub.FilterOrder > 2 {
 			sub.FilterOrder = 2
 		}
-		if _, err := im.constructBand(cap, sub, planeDist, emissionSec, noiseOnly, out, nil); err != nil {
+		if _, err := im.constructBand(ctx, cap, sub, planeDist, emissionSec, noiseOnly, out, nil); err != nil {
 			return nil, fmt.Errorf("core: sub-band %d: %w", b, err)
 		}
 	}
@@ -380,8 +390,9 @@ func (im *Imager) constructAll(cap *Capture, planeDist, emissionSec float64, noi
 // row) work items of the whole band are batched over a single worker pool
 // rather than spawning one pool per beep. When attach is nil a fresh image
 // slice is returned; otherwise the band images are appended to
-// attach[l].Bands.
-func (im *Imager) constructBand(cap *Capture, cfg Config, planeDist, emissionSec float64, noiseOnly [][]float64, attach []*AcousticImage, pre *preprocessed) ([]*AcousticImage, error) {
+// attach[l].Bands. Cancelling ctx stops the (beep, row) feed; in-flight
+// rows finish (row render is pure arithmetic) and ctx's error is returned.
+func (im *Imager) constructBand(ctx context.Context, cap *Capture, cfg Config, planeDist, emissionSec float64, noiseOnly [][]float64, attach []*AcousticImage, pre *preprocessed) ([]*AcousticImage, error) {
 	p := pre
 	if p == nil {
 		var err error
@@ -394,7 +405,7 @@ func (im *Imager) constructBand(cap *Capture, cfg Config, planeDist, emissionSec
 	if err != nil {
 		return nil, err
 	}
-	plan, err := buildImagingPlan(cfg, bf.WeightsFor, cap.SampleRate, p.samples, planeDist, emissionSec)
+	plan, err := buildImagingPlan(ctx, cfg, bf.WeightsFor, cap.SampleRate, p.samples, planeDist, emissionSec)
 	if err != nil {
 		return nil, err
 	}
@@ -417,13 +428,21 @@ func (im *Imager) constructBand(cap *Capture, cfg Config, planeDist, emissionSec
 			}
 		}()
 	}
+feed:
 	for l := 0; l < beeps; l++ {
 		for r := 0; r < plan.rows; r++ {
-			tasks <- rowTask{beep: l, row: r}
+			select {
+			case tasks <- rowTask{beep: l, row: r}:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 	}
 	close(tasks)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for l, img := range imgs {
 		plan.normalize(p.analytic[l], img, p.refRMS)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -208,7 +209,7 @@ func TestImagingPlanSolverErrorNoDeadlock(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() {
-		_, err := buildImagingPlan(cfg, failing, 48000, 2640, 0.7, 0)
+		_, err := buildImagingPlan(context.Background(), cfg, failing, 48000, 2640, 0.7, 0)
 		done <- err
 	}()
 	select {
@@ -241,7 +242,7 @@ func TestImagingPlanPartialSolverError(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() {
-		_, err := buildImagingPlan(cfg, solve, 48000, 2640, 0.7, 0)
+		_, err := buildImagingPlan(context.Background(), cfg, solve, 48000, 2640, 0.7, 0)
 		done <- err
 	}()
 	select {
@@ -271,13 +272,13 @@ func TestImagingPlanRenderValidation(t *testing.T) {
 	if _, err := plan.Render(short, 0, 0); err == nil {
 		t.Error("render with short channels succeeded")
 	}
-	if _, err := buildImagingPlan(cfg, bf.WeightsFor, 48000, 2640, 0, 0); err == nil {
+	if _, err := buildImagingPlan(context.Background(), cfg, bf.WeightsFor, 48000, 2640, 0, 0); err == nil {
 		t.Error("plan with zero plane distance succeeded")
 	}
-	if _, err := buildImagingPlan(cfg, bf.WeightsFor, 0, 2640, 0.7, 0); err == nil {
+	if _, err := buildImagingPlan(context.Background(), cfg, bf.WeightsFor, 0, 2640, 0.7, 0); err == nil {
 		t.Error("plan with zero sample rate succeeded")
 	}
-	if _, err := buildImagingPlan(cfg, bf.WeightsFor, 48000, 0, 0.7, 0); err == nil {
+	if _, err := buildImagingPlan(context.Background(), cfg, bf.WeightsFor, 48000, 0, 0.7, 0); err == nil {
 		t.Error("plan with zero samples succeeded")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -55,13 +56,31 @@ type ProcessResult struct {
 // analytic conversion and noise covariance are computed once, not per
 // stage.
 func (s *System) Process(cap *Capture, noiseOnly [][]float64) (*ProcessResult, error) {
-	return s.ProcessRecorded(cap, noiseOnly, nil)
+	return s.ProcessRecordedContext(context.Background(), cap, noiseOnly, nil)
 }
 
 // ProcessRecorded is Process with stage instrumentation: a non-nil
 // recorder receives the preprocess, ranging and imaging durations as
 // they complete. A nil recorder adds no work to the hot path.
 func (s *System) ProcessRecorded(cap *Capture, noiseOnly [][]float64, rec StageRecorder) (*ProcessResult, error) {
+	return s.ProcessRecordedContext(context.Background(), cap, noiseOnly, rec)
+}
+
+// ProcessContext is Process with cancellation (see ProcessRecordedContext).
+func (s *System) ProcessContext(ctx context.Context, cap *Capture, noiseOnly [][]float64) (*ProcessResult, error) {
+	return s.ProcessRecordedContext(ctx, cap, noiseOnly, nil)
+}
+
+// ProcessRecordedContext is ProcessRecorded with cancellation: the context
+// is checked between pipeline stages and, inside imaging, between the
+// (beep, row) render batches — mirroring TrainAuthenticatorContext — so a
+// serving layer can stop a request whose client is gone or whose deadline
+// passed instead of burning the remaining imaging CPU. A cancelled run
+// returns the context's error; partial results are discarded.
+func (s *System) ProcessRecordedContext(ctx context.Context, cap *Capture, noiseOnly [][]float64, rec StageRecorder) (*ProcessResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var mark time.Time
 	if rec != nil {
 		mark = time.Now()
@@ -75,6 +94,9 @@ func (s *System) ProcessRecorded(cap *Capture, noiseOnly [][]float64, rec StageR
 		rec.RecordStage(StagePreprocess, now.Sub(mark))
 		mark = now
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	dist, err := s.ranger.estimate(cap.SampleRate, pre, true)
 	if err != nil {
 		return nil, fmt.Errorf("core: distance estimation: %w", err)
@@ -84,6 +106,9 @@ func (s *System) ProcessRecorded(cap *Capture, noiseOnly [][]float64, rec StageR
 		rec.RecordStage(StageRanging, now.Sub(mark))
 		mark = now
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	plane := dist.UserM
 	if q := s.cfg.PlaneQuantizeM; q > 0 {
 		plane = float64(int(plane/q+0.5)) * q
@@ -91,8 +116,11 @@ func (s *System) ProcessRecorded(cap *Capture, noiseOnly [][]float64, rec StageR
 			plane = q
 		}
 	}
-	imgs, err := s.imager.constructAll(cap, plane, dist.EmissionSec, noiseOnly, pre)
+	imgs, err := s.imager.constructAllContext(ctx, cap, plane, dist.EmissionSec, noiseOnly, pre)
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		return nil, fmt.Errorf("core: image construction: %w", err)
 	}
 	if rec != nil {

@@ -36,6 +36,19 @@ type Options struct {
 	ReadTimeout time.Duration
 	// WriteTimeout bounds each response write. 0 disables.
 	WriteTimeout time.Duration
+	// RequestTimeout bounds the handling of a single request: the
+	// per-request context passed into the sensing pipeline expires after
+	// this long, stopping ranging/imaging mid-flight and answering
+	// in-band with code `unavailable`. 0 disables.
+	RequestTimeout time.Duration
+	// QueueWait bounds how long a capture request may wait for a free
+	// processing slot before being shed with code `overloaded`. 0 means
+	// DefaultQueueWait; negative sheds immediately when saturated.
+	QueueWait time.Duration
+	// ShutdownGrace is how long Serve waits, after cancellation, for
+	// in-flight connections to finish their current request before
+	// force-closing them. 0 means DefaultShutdownGrace.
+	ShutdownGrace time.Duration
 	// Train overrides the registry training function (tests).
 	Train registry.TrainFunc
 	// Telemetry receives the daemon's and registry's runtime metrics
@@ -46,6 +59,19 @@ type Options struct {
 	Telemetry *telemetry.Registry
 }
 
+// Defaults for the admission-control and shutdown knobs (picked for an
+// interactive authentication budget: shed early, drain fast).
+const (
+	// DefaultQueueWait bounds the capture-slot wait when Options.QueueWait
+	// is zero. Proximity authentication is interactive; a request that
+	// cannot start processing within this budget is better answered
+	// `overloaded` now than queued into uselessness.
+	DefaultQueueWait = 2 * time.Second
+	// DefaultShutdownGrace bounds the post-cancellation connection drain
+	// when Options.ShutdownGrace is zero.
+	DefaultShutdownGrace = 10 * time.Second
+)
+
 // Server is the daemon transport. Construct with New or NewWithOptions;
 // methods are safe for concurrent connections.
 type Server struct {
@@ -54,10 +80,16 @@ type Server struct {
 	logf       func(format string, args ...any)
 	readTO     time.Duration
 	writeTO    time.Duration
+	requestTO  time.Duration
+	queueWait  time.Duration
+	grace      time.Duration
 	captureSem chan struct{}
 	tel        *telemetry.Registry
 	met        serverMetrics
 	traces     *telemetry.TraceLog
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
 }
 
 // New builds a server with default options around a sensing pipeline.
@@ -80,6 +112,14 @@ func NewWithOptions(sys *core.System, authCfg core.AuthConfig, logf func(string,
 	if tel == nil {
 		tel = telemetry.NewRegistry()
 	}
+	queueWait := opts.QueueWait
+	if queueWait == 0 {
+		queueWait = DefaultQueueWait
+	}
+	grace := opts.ShutdownGrace
+	if grace <= 0 {
+		grace = DefaultShutdownGrace
+	}
 	return &Server{
 		sys: sys,
 		reg: registry.New(authCfg, registry.Options{
@@ -91,10 +131,14 @@ func NewWithOptions(sys *core.System, authCfg core.AuthConfig, logf func(string,
 		logf:       logf,
 		readTO:     opts.ReadTimeout,
 		writeTO:    opts.WriteTimeout,
+		requestTO:  opts.RequestTimeout,
+		queueWait:  queueWait,
+		grace:      grace,
 		captureSem: make(chan struct{}, maxCap),
 		tel:        tel,
 		met:        newServerMetrics(tel),
 		traces:     telemetry.NewTraceLog(traceCapacity),
+		conns:      make(map[net.Conn]struct{}),
 	}
 }
 
@@ -113,8 +157,11 @@ func (s *Server) Traces() *telemetry.TraceLog { return s.traces }
 func (s *Server) Close() { s.reg.Close() }
 
 // Serve accepts connections until the context is cancelled or the
-// listener fails. It closes the listener on cancellation and waits for
-// in-flight connections before returning.
+// listener fails. On cancellation it closes the listener, lets in-flight
+// connections finish their current request (ServeConn observes the
+// cancellation before reading another), and force-closes any connection
+// still alive after the shutdown grace period, so Serve always returns
+// within roughly Options.ShutdownGrace of the cancellation.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	var wg sync.WaitGroup
 	done := make(chan struct{})
@@ -129,19 +176,59 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			wg.Wait()
 			if ctx.Err() != nil {
+				s.drain(&wg)
 				return nil
 			}
+			wg.Wait()
 			return fmt.Errorf("daemon: accept: %w", err)
 		}
+		s.trackConn(conn, true)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer s.trackConn(conn, false)
 			defer conn.Close()
 			s.ServeConn(ctx, conn)
 		}()
 	}
+}
+
+// drain waits up to the shutdown grace period for connection goroutines,
+// then force-closes the stragglers and waits for them to unwind.
+func (s *Server) drain(wg *sync.WaitGroup) {
+	idle := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(idle)
+	}()
+	timer := time.NewTimer(s.grace)
+	defer timer.Stop()
+	select {
+	case <-idle:
+		return
+	case <-timer.C:
+	}
+	s.connMu.Lock()
+	n := len(s.conns)
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.connMu.Unlock()
+	if n > 0 {
+		s.logf("daemon: shutdown grace %v expired, force-closed %d connections", s.grace, n)
+	}
+	<-idle
+}
+
+func (s *Server) trackConn(conn net.Conn, add bool) {
+	s.connMu.Lock()
+	if add {
+		s.conns[conn] = struct{}{}
+	} else {
+		delete(s.conns, conn)
+	}
+	s.connMu.Unlock()
 }
 
 // deadlineConn is the subset of net.Conn the transport needs for
@@ -164,9 +251,13 @@ func (e *srvError) Unwrap() error { return e.err }
 func coded(code string, err error) *srvError { return &srvError{code: code, err: err} }
 
 // ServeConn handles one connection's request loop under ctx: each request
-// is read (under the idle deadline), dispatched, and answered with the
-// client's request ID echoed. Errors are answered in-band with a stable
-// code; only transport failures drop the connection.
+// is read (under the idle deadline), dispatched under a per-request
+// context (connection context capped by Options.RequestTimeout), and
+// answered with the client's request ID echoed. Errors are answered
+// in-band with a stable code; only transport failures drop the
+// connection. Cancelling ctx wins over the idle-deadline re-arm: the loop
+// observes the cancellation before reading another request, so an
+// actively-sending connection still drains promptly on shutdown.
 func (s *Server) ServeConn(ctx context.Context, conn io.ReadWriter) {
 	s.met.connsTotal.Inc()
 	s.met.connsActive.Inc()
@@ -182,8 +273,18 @@ func (s *Server) ServeConn(ctx context.Context, conn io.ReadWriter) {
 	})
 	defer stop()
 	for {
+		if ctx.Err() != nil {
+			return
+		}
 		if hasDeadlines && s.readTO > 0 {
 			dl.SetReadDeadline(time.Now().Add(s.readTO))
+			// The AfterFunc's immediate deadline may have fired between
+			// the check above and the re-arm, in which case the re-arm
+			// just erased it. Re-assert so cancellation always wins and
+			// the idle deadline can never push shutdown out.
+			if ctx.Err() != nil {
+				dl.SetReadDeadline(time.Now())
+			}
 		}
 		env, err := pc.Receive()
 		if err != nil {
@@ -194,11 +295,16 @@ func (s *Server) ServeConn(ctx context.Context, conn io.ReadWriter) {
 		}
 		// Each request gets a trace keyed by its request ID; the stage
 		// recorder feeds both the shared latency histograms and the trace.
+		// The request context inherits the connection's (cancelled on
+		// shutdown) and is capped by the request timeout, so a slow or
+		// abandoned request stops burning pipeline CPU.
 		start := time.Now()
 		tr := telemetry.NewTrace(env.RequestID, string(env.Type))
+		reqCtx, cancelReq := s.requestContext(ctx)
 		s.met.inflight.Inc()
-		resp, herr := s.handle(ctx, env, &stageRecorder{stages: s.met.stages, tr: tr})
+		resp, herr := s.handle(reqCtx, env, &stageRecorder{stages: s.met.stages, tr: tr})
 		s.met.inflight.Dec()
+		cancelReq()
 		s.met.requestCounter(env.Type).Inc()
 		s.met.requestLatency(env.Type).ObserveDuration(time.Since(start))
 		var errCode string
@@ -298,19 +404,60 @@ func (s *Server) handle(ctx context.Context, env *proto.Envelope, rec core.Stage
 	}
 }
 
+// requestContext derives the per-request context from the connection
+// context, capped by the request timeout when one is configured.
+func (s *Server) requestContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.requestTO > 0 {
+		return context.WithTimeout(ctx, s.requestTO)
+	}
+	return context.WithCancel(ctx)
+}
+
 // process runs the sensing pipeline on a capture under the concurrency
 // semaphore, so a burst of connections cannot oversubscribe the imaging
-// worker pools.
+// worker pools. Admission is bounded-wait: a request that cannot get a
+// processing slot within the queue-wait budget is shed with the stable
+// `overloaded` code instead of queueing without limit, keeping tail
+// latency bounded under saturation (the client retries with backoff).
 func (s *Server) process(ctx context.Context, wire *proto.CaptureWire, rec core.StageRecorder) (*core.ProcessResult, error) {
 	select {
 	case s.captureSem <- struct{}{}:
 	case <-ctx.Done():
 		return nil, coded(proto.CodeUnavailable, ctx.Err())
+	default:
+		s.met.queueDepth.Inc()
+		var waitCh <-chan time.Time
+		if s.queueWait > 0 {
+			timer := time.NewTimer(s.queueWait)
+			defer timer.Stop()
+			waitCh = timer.C
+		} else {
+			closed := make(chan time.Time)
+			close(closed)
+			waitCh = closed
+		}
+		select {
+		case s.captureSem <- struct{}{}:
+			s.met.queueDepth.Dec()
+		case <-waitCh:
+			s.met.queueDepth.Dec()
+			s.met.shedTotal.Inc()
+			return nil, coded(proto.CodeOverloaded,
+				fmt.Errorf("capture queue full: no processing slot within %v", s.queueWait))
+		case <-ctx.Done():
+			s.met.queueDepth.Dec()
+			return nil, coded(proto.CodeUnavailable, ctx.Err())
+		}
 	}
 	defer func() { <-s.captureSem }()
 	cap := &core.Capture{Beeps: wire.Beeps, SampleRate: wire.SampleRate, Reference: wire.Reference}
-	res, err := s.sys.ProcessRecorded(cap, wire.NoiseOnly, rec)
+	res, err := s.sys.ProcessRecordedContext(ctx, cap, wire.NoiseOnly, rec)
 	if err != nil {
+		if ctx.Err() != nil {
+			// Shutdown or request deadline: the pipeline was cancelled
+			// mid-flight, not broken — answer retryable, not process_failed.
+			return nil, coded(proto.CodeUnavailable, fmt.Errorf("request cancelled: %w", err))
+		}
 		return nil, coded(proto.CodeProcess, fmt.Errorf("process capture: %w", err))
 	}
 	return res, nil

@@ -298,7 +298,10 @@ func TestAuthenticateDuringRetrain(t *testing.T) {
 		}
 		return core.TrainAuthenticatorContext(ctx, cfg, enr)
 	}
-	srv := testServer(t, Options{Train: train})
+	// QueueWait is generous: on a small machine the parallel authenticates
+	// below legitimately queue for one processing slot, and this test is
+	// about retrain liveness, not load shedding (chaos_test.go covers that).
+	srv := testServer(t, Options{Train: train, QueueWait: time.Minute})
 	ctx := context.Background()
 
 	// Train model v1 synchronously so authentication has a live model.

@@ -20,6 +20,8 @@ type serverMetrics struct {
 	connsActive *telemetry.Gauge
 	connsTotal  *telemetry.Counter
 	inflight    *telemetry.Gauge
+	queueDepth  *telemetry.Gauge
+	shedTotal   *telemetry.Counter
 
 	requests     map[proto.MsgType]*telemetry.Counter
 	requestsWild *telemetry.Counter
@@ -49,6 +51,7 @@ var errorCodes = []string{
 	proto.CodeProcess,
 	proto.CodeTrain,
 	proto.CodeUnavailable,
+	proto.CodeOverloaded,
 	proto.CodeInternal,
 }
 
@@ -69,6 +72,10 @@ func newServerMetrics(tel *telemetry.Registry) serverMetrics {
 			"Client connections accepted since start."),
 		inflight: tel.Gauge("echoimage_daemon_inflight_requests",
 			"Requests currently being handled."),
+		queueDepth: tel.Gauge("echoimage_daemon_capture_queue_depth",
+			"Capture requests waiting for a processing slot."),
+		shedTotal: tel.Counter("echoimage_daemon_requests_shed_total",
+			"Capture requests shed with code overloaded because no processing slot freed within the queue-wait budget."),
 		requests: make(map[proto.MsgType]*telemetry.Counter, len(requestTypes)),
 		latency:  make(map[proto.MsgType]*telemetry.Histogram, len(requestTypes)),
 		errors:   make(map[string]*telemetry.Counter, len(errorCodes)),

@@ -1,0 +1,160 @@
+// Package faultnet wraps a net.Conn with deterministic fault injection —
+// added latency, partial (chunked) writes, one-shot stalls, and mid-frame
+// connection cuts — for chaos-testing stream transports. Every fault is
+// parameterized by explicit byte counts and durations (plus an optional
+// seed for chunk-size variation), so a failing test reproduces exactly.
+//
+// The wrapper is honest about ordering: a cut closes the underlying
+// connection after delivering exactly the configured number of bytes, so
+// a length-prefixed protocol peer observes a truncated frame, not a clean
+// EOF at a message boundary — the failure mode a crashing or roaming
+// client actually produces.
+package faultnet
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrCut is returned by Read/Write once the configured cut point has been
+// reached; the underlying connection is closed at that moment.
+var ErrCut = errors.New("faultnet: injected connection cut")
+
+// Faults configures the injected behavior. The zero value injects
+// nothing: the wrapper is then a transparent pass-through.
+type Faults struct {
+	// ReadLatency is added before every Read; WriteLatency before every
+	// Write (before any chunk of it).
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+
+	// WriteChunk splits each Write into chunks of at most this many
+	// bytes, each delivered by its own underlying Write — partial writes
+	// as a congested or tiny-MTU path produces them. 0 disables.
+	// With Seed set, chunk sizes vary deterministically in [1, WriteChunk].
+	WriteChunk int
+	// Seed drives the chunk-size PRNG; 0 means fixed-size chunks.
+	Seed int64
+
+	// CutAfterWriteBytes closes the connection after exactly this many
+	// bytes have been written through the wrapper — a mid-frame drop when
+	// placed inside a framed message. 0 disables.
+	CutAfterWriteBytes int64
+	// CutAfterReadBytes is the read-side equivalent. 0 disables.
+	CutAfterReadBytes int64
+
+	// StallAfterWriteBytes sleeps StallFor once, the first time the
+	// cumulative written byte count reaches it — a one-shot freeze in the
+	// middle of a frame. 0 disables.
+	StallAfterWriteBytes int64
+	StallFor             time.Duration
+}
+
+// Conn is a net.Conn with injected faults. Wrap constructs it.
+type Conn struct {
+	net.Conn
+	f Faults
+
+	wmu     sync.Mutex
+	rng     *rand.Rand
+	wrote   int64
+	stalled bool
+
+	rmu  sync.Mutex
+	read int64
+}
+
+// Wrap decorates conn with the given faults.
+func Wrap(conn net.Conn, f Faults) *Conn {
+	c := &Conn{Conn: conn, f: f}
+	if f.Seed != 0 {
+		c.rng = rand.New(rand.NewSource(f.Seed))
+	}
+	return c
+}
+
+// WroteBytes reports how many bytes have passed through Write so far.
+func (c *Conn) WroteBytes() int64 {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.wrote
+}
+
+// Write applies latency, chunking, the one-shot stall, and the write-side
+// cut. It returns the number of bytes actually delivered; once the cut
+// point is crossed the underlying connection is closed and ErrCut
+// returned.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.f.WriteLatency > 0 {
+		time.Sleep(c.f.WriteLatency)
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	total := 0
+	for len(p) > 0 {
+		chunk := len(p)
+		if c.f.WriteChunk > 0 && chunk > c.f.WriteChunk {
+			chunk = c.f.WriteChunk
+		}
+		if c.rng != nil && c.f.WriteChunk > 0 {
+			chunk = 1 + c.rng.Intn(c.f.WriteChunk)
+			if chunk > len(p) {
+				chunk = len(p)
+			}
+		}
+		cut := false
+		if c.f.CutAfterWriteBytes > 0 {
+			remain := c.f.CutAfterWriteBytes - c.wrote
+			if remain <= 0 {
+				c.Conn.Close()
+				return total, ErrCut
+			}
+			if int64(chunk) >= remain {
+				chunk = int(remain)
+				cut = true
+			}
+		}
+		if c.f.StallAfterWriteBytes > 0 && !c.stalled && c.wrote+int64(chunk) >= c.f.StallAfterWriteBytes {
+			c.stalled = true
+			time.Sleep(c.f.StallFor)
+		}
+		n, err := c.Conn.Write(p[:chunk])
+		c.wrote += int64(n)
+		total += n
+		if err != nil {
+			return total, err
+		}
+		if cut {
+			c.Conn.Close()
+			return total, ErrCut
+		}
+		p = p[chunk:]
+	}
+	return total, nil
+}
+
+// Read applies latency and the read-side cut: bytes up to the cut point
+// are delivered faithfully, then the connection closes with ErrCut.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.f.ReadLatency > 0 {
+		time.Sleep(c.f.ReadLatency)
+	}
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	if c.f.CutAfterReadBytes > 0 {
+		remain := c.f.CutAfterReadBytes - c.read
+		if remain <= 0 {
+			c.Conn.Close()
+			return 0, ErrCut
+		}
+		if int64(len(p)) > remain {
+			p = p[:remain]
+		}
+	}
+	n, err := c.Conn.Read(p)
+	c.read += int64(n)
+	return n, err
+}

@@ -1,0 +1,151 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// collect reads until the far end closes, returning everything received.
+func collect(t *testing.T, conn net.Conn, out chan<- []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	_, _ = io.Copy(&buf, conn)
+	out <- buf.Bytes()
+}
+
+func TestTransparentWhenZero(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	w := Wrap(a, Faults{})
+	got := make(chan []byte, 1)
+	go collect(t, b, got)
+	msg := []byte("hello fault-free world")
+	if n, err := w.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+	w.Close()
+	if !bytes.Equal(<-got, msg) {
+		t.Error("payload corrupted by pass-through wrapper")
+	}
+}
+
+// TestChunkedWritesDeliverEverything splits a payload into seeded random
+// chunks and checks reassembly is byte-exact — partial writes reorder
+// nothing and lose nothing.
+func TestChunkedWritesDeliverEverything(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	w := Wrap(a, Faults{WriteChunk: 7, Seed: 42})
+	msg := make([]byte, 1000)
+	for i := range msg {
+		msg[i] = byte(i * 31)
+	}
+	got := make(chan []byte, 1)
+	go collect(t, b, got)
+	if n, err := w.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+	w.Close()
+	if !bytes.Equal(<-got, msg) {
+		t.Error("chunked payload corrupted")
+	}
+	if w.WroteBytes() != int64(len(msg)) {
+		t.Errorf("WroteBytes %d, want %d", w.WroteBytes(), len(msg))
+	}
+}
+
+// TestCutMidWrite drops the connection after exactly N bytes: the peer
+// sees precisely those bytes then EOF, and the writer sees ErrCut — the
+// anatomy of a mid-frame disconnect.
+func TestCutMidWrite(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	const cutAt = 10
+	w := Wrap(a, Faults{CutAfterWriteBytes: cutAt})
+	msg := bytes.Repeat([]byte{0xAB}, 64)
+	got := make(chan []byte, 1)
+	go collect(t, b, got)
+	n, err := w.Write(msg)
+	if !errors.Is(err, ErrCut) {
+		t.Fatalf("write error %v, want ErrCut", err)
+	}
+	if n != cutAt {
+		t.Errorf("delivered %d bytes before cut, want %d", n, cutAt)
+	}
+	if delivered := <-got; len(delivered) != cutAt {
+		t.Errorf("peer received %d bytes, want %d", len(delivered), cutAt)
+	}
+	// The connection is dead: further writes fail immediately.
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Error("write after cut succeeded")
+	}
+}
+
+func TestCutMidRead(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	r := Wrap(b, Faults{CutAfterReadBytes: 5})
+	go func() {
+		a.Write([]byte("0123456789"))
+	}()
+	buf := make([]byte, 16)
+	n, err := io.ReadFull(r, buf[:5])
+	if err != nil || n != 5 {
+		t.Fatalf("read before cut: n=%d err=%v", n, err)
+	}
+	if string(buf[:5]) != "01234" {
+		t.Errorf("read %q, want %q", buf[:5], "01234")
+	}
+	if _, err := r.Read(buf); !errors.Is(err, ErrCut) {
+		t.Errorf("read past cut gave %v, want ErrCut", err)
+	}
+}
+
+func TestStallFiresOnce(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	const stall = 60 * time.Millisecond
+	w := Wrap(a, Faults{StallAfterWriteBytes: 4, StallFor: stall})
+	got := make(chan []byte, 1)
+	go collect(t, b, got)
+	start := time.Now()
+	if _, err := w.Write(bytes.Repeat([]byte{1}, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < stall {
+		t.Errorf("first write crossing the stall point took %v, want >= %v", elapsed, stall)
+	}
+	start = time.Now()
+	if _, err := w.Write(bytes.Repeat([]byte{2}, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed >= stall {
+		t.Errorf("stall fired twice (second write took %v)", elapsed)
+	}
+	w.Close()
+	if n := len(<-got); n != 16 {
+		t.Errorf("peer received %d bytes, want 16", n)
+	}
+}
+
+func TestWriteLatencyApplied(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	const lat = 40 * time.Millisecond
+	w := Wrap(a, Faults{WriteLatency: lat})
+	got := make(chan []byte, 1)
+	go collect(t, b, got)
+	start := time.Now()
+	if _, err := w.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < lat {
+		t.Errorf("latency-injected write took %v, want >= %v", elapsed, lat)
+	}
+	w.Close()
+	<-got
+}

@@ -47,15 +47,26 @@ const (
 
 // Stable error codes carried by ErrorResponse.Code, so clients can branch
 // without parsing message text.
+// Retryable codes: `unavailable` (shutdown or an expired request
+// deadline) and `overloaded` (capture admission queue full) are transient
+// — a client should retry with exponential backoff. Every other code is
+// permanent for the same request.
 const (
 	CodeBadRequest  = "bad_request"  // malformed body or invalid argument
 	CodeUnknownType = "unknown_type" // unrecognized message type
 	CodeNotTrained  = "not_trained"  // authentication before any model exists
 	CodeProcess     = "process_failed"
 	CodeTrain       = "train_failed"
-	CodeUnavailable = "unavailable" // daemon shutting down
+	CodeUnavailable = "unavailable" // daemon shutting down or request deadline expired
+	CodeOverloaded  = "overloaded"  // capture queue full: load shed, retry with backoff
 	CodeInternal    = "internal"
 )
+
+// RetryableCode reports whether a stable error code marks a transient
+// failure worth retrying with backoff.
+func RetryableCode(code string) bool {
+	return code == CodeUnavailable || code == CodeOverloaded
+}
 
 // Envelope frames every message. Version and RequestID are v2 additions;
 // both marshal to nothing for v1 peers, keeping v1 frames byte-compatible.

@@ -104,6 +104,7 @@ type regMetrics struct {
 	trainsCoalesced *telemetry.Counter
 	trainsCancelled *telemetry.Counter
 	trainsFailed    *telemetry.Counter
+	persistFailures *telemetry.Counter
 	trainSeconds    *telemetry.Histogram
 	modelVersion    *telemetry.Gauge
 	enrolledUsers   *telemetry.Gauge
@@ -120,6 +121,8 @@ func newRegMetrics(tel *telemetry.Registry) regMetrics {
 			"In-flight training runs cancelled because their snapshot went stale."),
 		trainsFailed: tel.Counter("echoimage_registry_trains_failed_total",
 			"Training runs that ended in an error (stale-cancelled runs excluded)."),
+		persistFailures: tel.Counter("echoimage_registry_persist_failures_total",
+			"Model persistence attempts that failed after a successful train (the in-memory model still serves)."),
 		trainSeconds: tel.Histogram("echoimage_registry_train_seconds",
 			"Wall time of successful training runs.", telemetry.TrainBuckets),
 		modelVersion: tel.Gauge("echoimage_registry_model_version",
@@ -269,7 +272,9 @@ func (r *Registry) requestRetrainLocked() {
 // Retrain queues a retrain and blocks until a training run covering the
 // current enrollment generation completes, returning its error. This is
 // the v1 synchronous semantics; the train itself still runs on the worker
-// so concurrent authentications are never stalled.
+// so concurrent authentications are never stalled. A caller abandoning
+// the wait (ctx cancelled) deregisters its waiter, so expired callers
+// cannot accumulate in the registry.
 func (r *Registry) Retrain(ctx context.Context) error {
 	r.mu.Lock()
 	if r.closed {
@@ -284,6 +289,17 @@ func (r *Registry) Retrain(ctx context.Context) error {
 	case err := <-ch:
 		return err
 	case <-ctx.Done():
+		// Remove our waiter so it is not parked forever. If the worker
+		// already took it, the pending notification lands in the buffered
+		// channel and is garbage-collected with it.
+		r.mu.Lock()
+		for i, w := range r.waiters {
+			if w.ch == ch {
+				r.waiters = append(r.waiters[:i], r.waiters[i+1:]...)
+				break
+			}
+		}
+		r.mu.Unlock()
 		return ctx.Err()
 	}
 }
@@ -368,7 +384,16 @@ func (r *Registry) worker() {
 				info.Version, users, images, elapsed.Round(time.Millisecond))
 			if r.modelPath != "" {
 				if perr := persist(r.modelPath, auth); perr != nil {
-					r.logf("registry: persist model v%d: %v", info.Version, perr)
+					// The in-memory model serves fine, but a silent
+					// persistence failure means a restart would lose it:
+					// count it and surface it through LastError/model_info
+					// until a later train persists successfully.
+					perr = fmt.Errorf("persist model v%d: %w", info.Version, perr)
+					r.met.persistFailures.Inc()
+					r.mu.Lock()
+					r.lastErr = perr
+					r.mu.Unlock()
+					r.logf("registry: %v", perr)
 				}
 			}
 			for _, w := range notify {
@@ -404,10 +429,13 @@ func (r *Registry) failWaiters(err error) {
 	}
 }
 
-// persist writes the model atomically: temp file in the destination
-// directory, then rename.
+// persist writes the model atomically and durably: temp file in the
+// destination directory, fsync, rename, then fsync the directory — so a
+// crash at any point leaves either the previous model or the new one,
+// never a truncated file, and the rename itself survives a power loss.
 func persist(path string, auth *core.Authenticator) error {
-	f, err := os.CreateTemp(filepath.Dir(path), ".model-*")
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".model-*")
 	if err != nil {
 		return err
 	}
@@ -417,11 +445,25 @@ func persist(path string, auth *core.Authenticator) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // Install publishes an externally built model (typically loaded from

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -401,5 +402,131 @@ func TestRetrainMetrics(t *testing.T) {
 	}
 	if got := tel.Gauge("echoimage_registry_enrolled_images", "").Value(); got != 3 {
 		t.Errorf("enrolled images gauge %d, want 3", got)
+	}
+}
+
+// TestRetrainWaiterDeregisteredOnCancel pins the waiter-leak fix: a
+// synchronous Retrain whose context expires mid-train must remove its
+// waiter from the registry instead of leaving it parked forever.
+func TestRetrainWaiterDeregisteredOnCancel(t *testing.T) {
+	release := make(chan struct{})
+	train := func(ctx context.Context, cfg core.AuthConfig, enr map[int][]*core.AcousticImage) (*core.Authenticator, error) {
+		select {
+		case <-release:
+			return &core.Authenticator{}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	r := New(core.AuthConfig{}, Options{Train: train})
+	defer r.Close()
+	if err := r.AddImages(1, stubImages(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	waiters := func() int {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return len(r.waiters)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- r.Retrain(ctx) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for waiters() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := waiters(); got != 1 {
+		t.Fatalf("%d waiters parked, want 1", got)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled Retrain returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled Retrain never returned")
+	}
+	if got := waiters(); got != 0 {
+		t.Fatalf("%d waiters still parked after ctx cancellation", got)
+	}
+
+	// The registry is fully functional afterwards: the train completes
+	// and later synchronous retrains resolve normally.
+	close(release)
+	waitVersion(t, r, 1)
+	if err := r.Retrain(context.Background()); err != nil {
+		t.Fatalf("Retrain after a cancelled waiter: %v", err)
+	}
+}
+
+// TestPersistFailureSurfaced breaks persistence (model path in a deleted
+// directory) and checks the failure is not silent: LastError reports it,
+// the persist-failure counter moves, and the trained model still serves.
+func TestPersistFailureSurfaced(t *testing.T) {
+	tel := telemetry.NewRegistry()
+	dir := t.TempDir()
+	gone := filepath.Join(dir, "gone")
+	if err := os.Mkdir(gone, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(gone, "model.json")
+	r := New(core.AuthConfig{}, Options{Train: instantTrain, ModelPath: path, Telemetry: tel})
+	defer r.Close()
+	if err := os.RemoveAll(gone); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := r.AddImages(1, stubImages(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Retrain(context.Background()); err != nil {
+		t.Fatalf("train must succeed even when persistence fails: %v", err)
+	}
+	if r.Snapshot() == nil {
+		t.Fatal("model not published despite successful train")
+	}
+
+	// Persistence runs on the worker after waiters resolve; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for r.LastError() == nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	err := r.LastError()
+	if err == nil {
+		t.Fatal("persist failure left LastError nil")
+	}
+	if !strings.Contains(err.Error(), "persist model v1") {
+		t.Errorf("LastError %q does not identify the persist failure", err)
+	}
+	if got := tel.Counter("echoimage_registry_persist_failures_total", "").Value(); got != 1 {
+		t.Errorf("persist failure counter %d, want 1", got)
+	}
+
+	// A later train with persistence restored clears the error.
+	if err := os.Mkdir(gone, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddImages(2, stubImages(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Retrain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, serr := os.Stat(path); serr == nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, serr := os.Stat(path); serr != nil {
+		t.Fatalf("model not persisted after directory restored: %v", serr)
+	}
+	if err := r.LastError(); err != nil {
+		t.Errorf("LastError not cleared by the recovering train: %v", err)
 	}
 }
