@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-ci bench-report telemetry-smoke fuzz-smoke ci
+.PHONY: build test vet race bench bench-ci bench-report telemetry-smoke fuzz-smoke lint ci
 
 build:
 	$(GO) build ./...
@@ -57,4 +57,18 @@ telemetry-smoke:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz=FuzzRead -fuzztime=10s ./internal/proto
 
-ci: vet test bench-ci fuzz-smoke
+# Architectural-invariant gate: the project's own analyzer suite
+# (internal/analysis; rule table in README.md, invariants in DESIGN.md)
+# plus a gofmt cleanliness sweep. Fails on any finding or any
+# unformatted file; suppress intentional findings in source with
+# //echoimage:lint-ignore <rule> <reason>.
+lint:
+	$(GO) run ./cmd/echoimage-lint ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: unformatted files:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi
+
+ci: vet lint test bench-ci fuzz-smoke

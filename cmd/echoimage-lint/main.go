@@ -1,0 +1,65 @@
+// Command echoimage-lint runs the project's static-analysis suite
+// (internal/analysis) over the packages matched by its arguments and
+// prints one "file:line: rule: message" diagnostic per finding.
+//
+// Usage:
+//
+//	echoimage-lint [-C dir] [-list] [packages...]
+//
+// With no package arguments it checks ./... . Exit status: 0 when the
+// tree is clean, 1 when any diagnostic was emitted, 2 when analysis
+// itself failed (a package did not load or typecheck).
+//
+// A finding that is intentional is suppressed in source with
+//
+//	//echoimage:lint-ignore <rule> <reason>
+//
+// on the offending line or the line directly above it; see
+// internal/analysis and the lint-rule table in README.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"echoimage/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("echoimage-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "directory to run in (module root)")
+	list := fs.Bool("list", false, "list the rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	suite := analysis.DefaultSuite()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%s\t%s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := analysis.Run(*dir, patterns, suite)
+	if err != nil {
+		fmt.Fprintf(stderr, "echoimage-lint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "echoimage-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

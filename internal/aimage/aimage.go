@@ -133,8 +133,7 @@ func Correlation(a, b *Image) (float64, error) {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		return 0, fmt.Errorf("aimage: shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
-	n := float64(len(a.Pix))
-	if n == 0 {
+	if len(a.Pix) == 0 {
 		return 0, fmt.Errorf("aimage: empty images")
 	}
 	ma, mb := a.Mean(), b.Mean()

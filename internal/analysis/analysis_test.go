@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// fixtureBase is the import-path root of the lint fixtures. The
+// testdata directory keeps them out of ./... wildcards (and so out of
+// the real lint run and the module build), while explicit import paths
+// still load and typecheck them.
+const fixtureBase = "echoimage/internal/analysis/testdata/src"
+
+// repoRoot locates the module root (two levels up from this package).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatalf("resolve repo root: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root %s has no go.mod: %v", root, err)
+	}
+	return root
+}
+
+// runFixture runs analyzers over the named fixture packages.
+func runFixture(t *testing.T, analyzers []Analyzer, pkgs ...string) []Diagnostic {
+	t.Helper()
+	patterns := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		patterns[i] = fixtureBase + "/" + p
+	}
+	diags, err := Run(repoRoot(t), patterns, analyzers)
+	if err != nil {
+		t.Fatalf("Run(%v): %v", patterns, err)
+	}
+	return diags
+}
+
+// readFixture returns a fixture file's contents (path relative to this
+// package directory).
+func readFixture(t *testing.T, relPath string) string {
+	t.Helper()
+	data, err := os.ReadFile(relPath)
+	if err != nil {
+		t.Fatalf("read fixture %s: %v", relPath, err)
+	}
+	return string(data)
+}
+
+// checkGolden compares rendered diagnostics against
+// testdata/<name>.golden, rewriting it under -update.
+func checkGolden(t *testing.T, name string, diags []Diagnostic) {
+	t.Helper()
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	got := b.String()
+	golden := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatalf("update %s: %v", golden, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read %s (run with -update to create): %v", golden, err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics mismatch for %s\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}

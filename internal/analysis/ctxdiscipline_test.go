@@ -1,0 +1,15 @@
+package analysis
+
+import "testing"
+
+func TestCtxDisciplineGolden(t *testing.T) {
+	suite := []Analyzer{NewCtxDiscipline(CtxConfig{
+		Allowlist: []string{
+			fixtureBase + "/ctxdiscipline/ctxpkg.Compat",
+			fixtureBase + "/ctxdiscipline/ctxpkg.Item.Wrap",
+		},
+	})}
+	diags := runFixture(t, suite,
+		"ctxdiscipline/ctxpkg", "ctxdiscipline/ctxmain")
+	checkGolden(t, "ctxdiscipline", diags)
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDefaultSuiteCleanTree is the invariant gate: the shipped tree has
+// zero findings under the shipped suite. A red run here names exactly
+// the file and rule that drifted.
+func TestDefaultSuiteCleanTree(t *testing.T) {
+	diags, err := Run(repoRoot(t), []string{"./..."}, DefaultSuite())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestDriverExitCodes builds the real cmd/echoimage-lint binary and
+// checks its contract: exit 0 with no output on a clean tree, exit 1
+// with file:line diagnostics on findings.
+func TestDriverExitCodes(t *testing.T) {
+	root := repoRoot(t)
+	bin := filepath.Join(t.TempDir(), "echoimage-lint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/echoimage-lint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build driver: %v\n%s", err, out)
+	}
+
+	t.Run("clean tree exits 0", func(t *testing.T) {
+		clean := exec.Command(bin, "./...")
+		clean.Dir = root
+		out, err := clean.CombinedOutput()
+		if err != nil {
+			t.Fatalf("want exit 0 on clean tree, got %v\n%s", err, out)
+		}
+		if len(out) != 0 {
+			t.Errorf("want no output on clean tree, got:\n%s", out)
+		}
+	})
+
+	t.Run("findings exit 1 with diagnostics", func(t *testing.T) {
+		// layering/undeclared has no DAG entry, so the default suite
+		// reports it.
+		dirty := exec.Command(bin, fixtureBase+"/layering/undeclared")
+		dirty.Dir = root
+		out, err := dirty.CombinedOutput()
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) || exitErr.ExitCode() != 1 {
+			t.Fatalf("want exit 1, got %v\n%s", err, out)
+		}
+		text := string(out)
+		if !strings.Contains(text, "layering:") ||
+			!strings.Contains(text, "undeclared.go:") {
+			t.Errorf("diagnostic missing file/rule:\n%s", text)
+		}
+	})
+
+	t.Run("list flag names every rule", func(t *testing.T) {
+		list := exec.Command(bin, "-list")
+		list.Dir = root
+		out, err := list.CombinedOutput()
+		if err != nil {
+			t.Fatalf("-list: %v\n%s", err, out)
+		}
+		for _, a := range DefaultSuite() {
+			if !strings.Contains(string(out), a.Name()) {
+				t.Errorf("-list output missing rule %s:\n%s", a.Name(), out)
+			}
+		}
+	})
+}

@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+func TestErrCodesGolden(t *testing.T) {
+	suite := []Analyzer{NewErrCodes(ErrCodesConfig{
+		Packages:    []string{fixtureBase + "/errcodes/codespkg"},
+		ProtoPath:   fixtureBase + "/errcodes/fakeproto",
+		CodePrefix:  "Code",
+		CodedFunc:   "coded",
+		ErrorStruct: "ErrorResponse",
+		CodeField:   "Code",
+	})}
+	diags := runFixture(t, suite, "errcodes/codespkg")
+	checkGolden(t, "errcodes", diags)
+}

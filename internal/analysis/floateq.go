@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEqConfig tunes the exact-float-comparison analyzer.
+type FloatEqConfig struct {
+	// Packages are the import paths held to the no-exact-comparison
+	// rule: the numerical core, where == on floats is either a latent
+	// bug or a deliberate fast path that deserves an audited
+	// lint-ignore.
+	Packages []string
+}
+
+// FloatEq flags == and != whose operands are floating-point or complex:
+// in the DSP core these comparisons silently depend on bit-exact
+// arithmetic that FFT reordering, fused multiply-add, or a different
+// libm can break. Compare against a tolerance, or suppress with an
+// explicit reason when exactness is the point (sentinel values, skip-if-
+// identity fast paths).
+type FloatEq struct {
+	pkgs map[string]bool
+}
+
+// NewFloatEq builds the analyzer.
+func NewFloatEq(cfg FloatEqConfig) *FloatEq {
+	pkgs := make(map[string]bool, len(cfg.Packages))
+	for _, p := range cfg.Packages {
+		pkgs[p] = true
+	}
+	return &FloatEq{pkgs: pkgs}
+}
+
+// Name implements Analyzer.
+func (f *FloatEq) Name() string { return "floateq" }
+
+// Doc implements Analyzer.
+func (f *FloatEq) Doc() string {
+	return "no exact ==/!= on floating-point or complex operands in the numerical core; compare with a tolerance"
+}
+
+// Check implements Analyzer.
+func (f *FloatEq) Check(pkg *Package) []Diagnostic {
+	if !f.pkgs[pkg.Path] {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			t := floatOperand(pkg, bin.X)
+			if t == nil {
+				t = floatOperand(pkg, bin.Y)
+			}
+			if t == nil {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  pkg.Fset.Position(bin.OpPos),
+				Rule: f.Name(),
+				Message: fmt.Sprintf("exact %s comparison on %s; compare with a tolerance (or suppress with an audited lint-ignore if exactness is intended)",
+					bin.Op, t),
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// floatOperand returns the operand's type when it is floating-point or
+// complex (after default conversion of untyped constants), else nil.
+func floatOperand(pkg *Package, expr ast.Expr) types.Type {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	t := types.Default(tv.Type)
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return nil
+	}
+	if basic.Info()&(types.IsFloat|types.IsComplex) == 0 {
+		return nil
+	}
+	return t
+}
+
+var _ Analyzer = (*FloatEq)(nil)

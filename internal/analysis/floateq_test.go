@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+func TestFloatEqGolden(t *testing.T) {
+	suite := []Analyzer{NewFloatEq(FloatEqConfig{
+		Packages: []string{fixtureBase + "/floateq/floatpkg"},
+	})}
+	diags := runFixture(t, suite, "floateq/floatpkg")
+	checkGolden(t, "floateq", diags)
+}

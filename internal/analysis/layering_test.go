@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLayeringGolden(t *testing.T) {
+	suite := []Analyzer{NewLayering(LayeringConfig{
+		Module: Module,
+		Packages: map[string]LayerRule{
+			fixtureBase + "/layering/mathpkg": {ForbiddenStd: []string{"net", "os"}},
+			fixtureBase + "/layering/apppkg":  {},
+			// layering/undeclared is deliberately absent.
+		},
+	})}
+	diags := runFixture(t, suite,
+		"layering/mathpkg", "layering/apppkg", "layering/undeclared")
+	checkGolden(t, "layering", diags)
+}
+
+// TestLayeringDefaultDAGBlocksCoreTelemetry proves the shipped DAG
+// rejects the canonical violation — internal/core importing the serving
+// stack — by re-labelling a fixture that imports telemetry and proto as
+// if it were core.
+func TestLayeringDefaultDAGBlocksCoreTelemetry(t *testing.T) {
+	layering := defaultLayering(t)
+	pkgs, err := Load(repoRoot(t), []string{fixtureBase + "/layering/brokencore"})
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	pkg.Path = "echoimage/internal/core" // impersonate core for rule lookup
+	diags := layering.Check(pkg)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (telemetry + proto):\n%v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "echoimage/internal/telemetry") &&
+			!strings.Contains(d.Message, "echoimage/internal/proto") {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// TestLayeringDefaultDAGCoversTree fails when a new package lands
+// without a DAG entry — the undeclared-package diagnostic would fire in
+// make lint, and this test names the omission earlier.
+func TestLayeringDefaultDAGCoversTree(t *testing.T) {
+	layering := defaultLayering(t)
+	pkgs, err := Load(repoRoot(t), []string{"./..."})
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	for _, pkg := range pkgs {
+		if _, ok := layering.rule(pkg.Path); !ok {
+			t.Errorf("package %s has no entry in the layering DAG (suite.go)", pkg.Path)
+		}
+	}
+}
+
+func defaultLayering(t *testing.T) *Layering {
+	t.Helper()
+	for _, a := range DefaultSuite() {
+		if l, ok := a.(*Layering); ok {
+			return l
+		}
+	}
+	t.Fatal("DefaultSuite has no Layering analyzer")
+	return nil
+}

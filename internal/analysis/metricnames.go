@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// MetricNamesConfig tunes the metric-name analyzer.
+type MetricNamesConfig struct {
+	// RegistryPath and RegistryType identify the telemetry registry
+	// whose constructor methods are checked.
+	RegistryPath string
+	RegistryType string
+	// Methods maps a registry method name to the index of its
+	// series-name argument.
+	Methods map[string]int
+	// Pattern is the required shape of every series name.
+	Pattern *regexp.Regexp
+}
+
+// MetricNamePattern is the project's series-name contract: one flat
+// namespace, snake_case, echoimage-prefixed.
+var MetricNamePattern = regexp.MustCompile(`^echoimage_[a-z0-9_]+$`)
+
+// MetricNames keeps the telemetry hot path allocation-free and the
+// series namespace closed: every name passed to Registry.Counter /
+// Gauge / Histogram must be a compile-time string constant (never
+// fmt.Sprintf-assembled per call) matching ^echoimage_[a-z0-9_]+$, so
+// series are pre-registerable and dashboards never meet a dynamically
+// invented name.
+type MetricNames struct {
+	cfg MetricNamesConfig
+}
+
+// NewMetricNames builds the analyzer.
+func NewMetricNames(cfg MetricNamesConfig) *MetricNames { return &MetricNames{cfg: cfg} }
+
+// Name implements Analyzer.
+func (m *MetricNames) Name() string { return "metricnames" }
+
+// Doc implements Analyzer.
+func (m *MetricNames) Doc() string {
+	return fmt.Sprintf("telemetry series names must be compile-time constants matching %s", m.cfg.Pattern)
+}
+
+// Check implements Analyzer.
+func (m *MetricNames) Check(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			argIdx, ok := m.cfg.Methods[sel.Sel.Name]
+			if !ok || !m.isRegistryMethod(pkg, sel) {
+				return true
+			}
+			if argIdx >= len(call.Args) {
+				return true
+			}
+			diags = append(diags, m.checkName(pkg, call.Args[argIdx], sel.Sel.Name)...)
+			return true
+		})
+	}
+	return diags
+}
+
+// isRegistryMethod reports whether sel selects a method of the
+// configured registry type.
+func (m *MetricNames) isRegistryMethod(pkg *Package, sel *ast.SelectorExpr) bool {
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == m.cfg.RegistryType && obj.Pkg() != nil && obj.Pkg().Path() == m.cfg.RegistryPath
+}
+
+// checkName verifies one series-name argument.
+func (m *MetricNames) checkName(pkg *Package, arg ast.Expr, method string) []Diagnostic {
+	tv, ok := pkg.Info.Types[arg]
+	if !ok || tv.Value == nil {
+		return []Diagnostic{{
+			Pos:  pkg.Fset.Position(arg.Pos()),
+			Rule: m.Name(),
+			Message: fmt.Sprintf("series name passed to %s.%s must be a compile-time string constant, not a runtime-built value (keeps the hot path allocation-free and the namespace closed)",
+				m.cfg.RegistryType, method),
+		}}
+	}
+	if tv.Value.Kind() != constant.String {
+		return nil // the typechecker already rejects non-strings
+	}
+	name := constant.StringVal(tv.Value)
+	if m.cfg.Pattern.MatchString(name) {
+		return nil
+	}
+	return []Diagnostic{{
+		Pos:  pkg.Fset.Position(arg.Pos()),
+		Rule: m.Name(),
+		Message: fmt.Sprintf("series name %q does not match %s",
+			name, m.cfg.Pattern),
+	}}
+}
+
+var _ Analyzer = (*MetricNames)(nil)

@@ -1,0 +1,14 @@
+package analysis
+
+import "testing"
+
+func TestMetricNamesGolden(t *testing.T) {
+	suite := []Analyzer{NewMetricNames(MetricNamesConfig{
+		RegistryPath: fixtureBase + "/metricnames/faketel",
+		RegistryType: "Registry",
+		Methods:      map[string]int{"Counter": 0, "Gauge": 0, "Histogram": 0},
+		Pattern:      MetricNamePattern,
+	})}
+	diags := runFixture(t, suite, "metricnames/metpkg")
+	checkGolden(t, "metricnames", diags)
+}

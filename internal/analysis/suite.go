@@ -1,0 +1,164 @@
+package analysis
+
+// This file is the single place where the module's architectural
+// invariants are declared as data. DESIGN.md ("Architectural
+// invariants") is the prose twin; when one changes, change both.
+
+// Module is the import-path root of the project.
+const Module = "echoimage"
+
+// mathLayerStdBan is the standard-library ban for the pure numerical
+// core: those packages may import each other and the non-I/O standard
+// library, nothing else — the real-time sensing loop runs there, and a
+// stray net or os dependency is an architecture bug.
+var mathLayerStdBan = []string{"net", "os", "syscall"}
+
+// DefaultSuite returns the analyzers configured for the echoimage tree:
+// the declared import DAG, the context-discipline allowlist of
+// documented compat wrappers, the closed proto error-code set, the
+// telemetry series-name contract, and the float-comparison ban over the
+// numerical core.
+func DefaultSuite() []Analyzer {
+	return []Analyzer{
+		NewLayering(LayeringConfig{
+			Module: Module,
+			Packages: map[string]LayerRule{
+				// ── pure math / DSP layer: no project deps, no I/O ──
+				"echoimage/internal/dsp":    {ForbiddenStd: mathLayerStdBan},
+				"echoimage/internal/cmat":   {ForbiddenStd: mathLayerStdBan},
+				"echoimage/internal/array":  {ForbiddenStd: mathLayerStdBan},
+				"echoimage/internal/chirp":  {ForbiddenStd: mathLayerStdBan},
+				"echoimage/internal/aimage": {ForbiddenStd: mathLayerStdBan},
+				"echoimage/internal/beamform": {
+					AllowedProject: []string{
+						"echoimage/internal/array",
+						"echoimage/internal/cmat",
+						"echoimage/internal/dsp",
+					},
+					ForbiddenStd: mathLayerStdBan,
+				},
+
+				// ── sensing simulation and model layers ──
+				"echoimage/internal/audio": {},
+				"echoimage/internal/svm":   {},
+				"echoimage/internal/sim": {AllowedProject: []string{
+					"echoimage/internal/array",
+					"echoimage/internal/chirp",
+					"echoimage/internal/dsp",
+				}},
+				"echoimage/internal/body": {AllowedProject: []string{
+					"echoimage/internal/array",
+					"echoimage/internal/sim",
+				}},
+				"echoimage/internal/features": {AllowedProject: []string{
+					"echoimage/internal/aimage",
+				}},
+
+				// ── core pipeline: all of the math, none of the serving
+				// stack (telemetry flows through the StageRecorder seam;
+				// proto/registry/daemon must never leak in) ──
+				"echoimage/internal/core": {AllowedProject: []string{
+					"echoimage/internal/aimage",
+					"echoimage/internal/array",
+					"echoimage/internal/beamform",
+					"echoimage/internal/chirp",
+					"echoimage/internal/cmat",
+					"echoimage/internal/dsp",
+					"echoimage/internal/features",
+					"echoimage/internal/svm",
+				}},
+
+				// ── evaluation layers ──
+				"echoimage/internal/metrics": {},
+				"echoimage/internal/dataset": {AllowedProject: []string{
+					"echoimage/internal/array",
+					"echoimage/internal/body",
+					"echoimage/internal/chirp",
+					"echoimage/internal/core",
+					"echoimage/internal/sim",
+				}},
+				"echoimage/internal/experiments": {AllowedProject: []string{
+					"echoimage/internal/aimage",
+					"echoimage/internal/array",
+					"echoimage/internal/body",
+					"echoimage/internal/chirp",
+					"echoimage/internal/core",
+					"echoimage/internal/dataset",
+					"echoimage/internal/metrics",
+					"echoimage/internal/sim",
+				}},
+
+				// ── serving stack: telemetry and proto are leaves;
+				// registry may use core + telemetry; only the daemon
+				// wires proto + registry + telemetry + core together ──
+				"echoimage/internal/proto":     {},
+				"echoimage/internal/telemetry": {},
+				"echoimage/internal/faultnet":  {},
+				"echoimage/internal/registry": {AllowedProject: []string{
+					"echoimage/internal/core",
+					"echoimage/internal/telemetry",
+				}},
+				"echoimage/internal/daemon": {AllowedProject: []string{
+					"echoimage/internal/core",
+					"echoimage/internal/proto",
+					"echoimage/internal/registry",
+					"echoimage/internal/telemetry",
+				}},
+
+				// ── tooling ──
+				"echoimage/internal/analysis": {},
+
+				// ── facade and wiring layers ──
+				// The public facade re-exports the simulation + pipeline
+				// API; it must never pull the serving stack into library
+				// consumers.
+				"echoimage": {AllowedProject: []string{
+					"echoimage/internal/array",
+					"echoimage/internal/body",
+					"echoimage/internal/core",
+					"echoimage/internal/dataset",
+					"echoimage/internal/sim",
+				}},
+				"echoimage/examples/...": {AllowedProject: []string{"echoimage"}},
+				"echoimage/cmd/...":      {AnyProject: true},
+			},
+		}),
+
+		NewCtxDiscipline(CtxConfig{
+			// The documented non-Context compat wrappers: each is a thin
+			// shim over its *Context twin, kept for the pre-PR 4 API.
+			Allowlist: []string{
+				"echoimage/internal/core.System.Process",
+				"echoimage/internal/core.System.ProcessRecorded",
+				"echoimage/internal/core.NewImagingPlan",
+				"echoimage/internal/core.Imager.ConstructAll",
+				"echoimage/internal/core.TrainAuthenticator",
+			},
+		}),
+
+		NewErrCodes(ErrCodesConfig{
+			Packages:    []string{"echoimage/internal/daemon"},
+			ProtoPath:   "echoimage/internal/proto",
+			CodePrefix:  "Code",
+			CodedFunc:   "coded",
+			ErrorStruct: "ErrorResponse",
+			CodeField:   "Code",
+		}),
+
+		NewMetricNames(MetricNamesConfig{
+			RegistryPath: "echoimage/internal/telemetry",
+			RegistryType: "Registry",
+			Methods:      map[string]int{"Counter": 0, "Gauge": 0, "Histogram": 0},
+			Pattern:      MetricNamePattern,
+		}),
+
+		NewFloatEq(FloatEqConfig{
+			Packages: []string{
+				"echoimage/internal/dsp",
+				"echoimage/internal/beamform",
+				"echoimage/internal/cmat",
+				"echoimage/internal/aimage",
+			},
+		}),
+	}
+}

@@ -1,0 +1,10 @@
+// Command ctxmain is a ctxdiscipline fixture: package main may root
+// contexts freely.
+package main
+
+import "context"
+
+func main() {
+	_ = context.Background()
+	_ = context.TODO()
+}

@@ -1,0 +1,44 @@
+// Package ctxpkg is a ctxdiscipline fixture: misplaced Context
+// parameters and un-allowlisted root contexts.
+package ctxpkg
+
+import "context"
+
+// Item is a carrier for the method cases.
+type Item struct{ id int }
+
+// Bad takes its context second: a violation.
+func Bad(id int, ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Good threads the context first: clean.
+func Good(ctx context.Context, id int) error {
+	return ctx.Err()
+}
+
+// Root roots a fresh context outside the allowlist: a violation.
+func Root() error {
+	return Good(context.Background(), 1)
+}
+
+// Todo is the same violation spelled TODO.
+func Todo() error {
+	return Good(context.TODO(), 2)
+}
+
+// Compat is allowlisted by the test config: clean.
+func Compat() error {
+	return Good(context.Background(), 3)
+}
+
+// Wrap is an allowlisted method: clean.
+func (it *Item) Wrap() error {
+	return Good(context.Background(), it.id)
+}
+
+// Deep is a violation inside a nested function literal.
+func Deep() error {
+	f := func() error { return Good(context.Background(), 4) }
+	return f()
+}

@@ -1,0 +1,41 @@
+// Package codespkg is an errcodes fixture: a transport layer that
+// sometimes bypasses the declared code set.
+package codespkg
+
+import (
+	"errors"
+
+	"echoimage/internal/analysis/testdata/src/errcodes/fakeproto"
+)
+
+// localCode shadows the closed set locally: using it is a violation.
+const localCode = "homegrown"
+
+type srvError struct {
+	code string
+	err  error
+}
+
+func (e *srvError) Error() string { return e.err.Error() }
+
+func coded(code string, err error) *srvError { return &srvError{code: code, err: err} }
+
+// Handle exercises every shape of code expression.
+func Handle(pick bool) (any, error) {
+	if pick {
+		return nil, coded(fakeproto.CodeBad, errors.New("declared constant: clean"))
+	}
+	if err := errors.New("inline literal: violation"); err != nil {
+		return nil, coded("oops", err)
+	}
+	return nil, coded(localCode, errors.New("local constant: violation"))
+}
+
+// Responses exercises the composite-literal field check.
+func Responses(dynamic string) []fakeproto.ErrorResponse {
+	return []fakeproto.ErrorResponse{
+		{Code: fakeproto.CodeInternal, Message: "clean"},
+		{Code: "raw_inline", Message: "violation"},
+		{Code: dynamic, Message: "variable flow: accepted"},
+	}
+}

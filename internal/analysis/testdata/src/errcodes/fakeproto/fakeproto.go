@@ -1,0 +1,15 @@
+// Package fakeproto is an errcodes fixture: the declared closed code
+// set and the wire error-response struct.
+package fakeproto
+
+// The declared stable code set.
+const (
+	CodeBad      = "bad_request"
+	CodeInternal = "internal"
+)
+
+// ErrorResponse is the wire error body.
+type ErrorResponse struct {
+	Code    string
+	Message string
+}

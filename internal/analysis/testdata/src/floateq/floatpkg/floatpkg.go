@@ -1,0 +1,30 @@
+// Package floatpkg is a floateq fixture: exact comparisons over every
+// numeric shape the rule distinguishes.
+package floatpkg
+
+// EqF64 is a violation.
+func EqF64(a, b float64) bool { return a == b }
+
+// NeqF32 is a violation.
+func NeqF32(a, b float32) bool { return a != b }
+
+// EqComplex is a violation.
+func EqComplex(a, b complex128) bool { return a == b }
+
+// EqConst compares against an untyped constant: a violation.
+func EqConst(gain float64) bool { return gain != 1 }
+
+// EqInt is clean: integers compare exactly.
+func EqInt(a, b int) bool { return a == b }
+
+// EqString is clean.
+func EqString(a, b string) bool { return a == b }
+
+// Tolerant is the blessed idiom: clean.
+func Tolerant(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}

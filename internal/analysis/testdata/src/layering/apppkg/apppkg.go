@@ -1,0 +1,11 @@
+// Package apppkg is a layering fixture: an application-layer package
+// with no allowed project imports. Its net import is legal here (no std
+// ban applies to it).
+package apppkg
+
+import "net"
+
+// Addr formats a TCP address.
+func Addr(host string, port int) string {
+	return net.JoinHostPort(host, "0")
+}

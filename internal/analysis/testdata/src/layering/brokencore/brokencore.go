@@ -1,0 +1,16 @@
+// Package brokencore is a layering fixture: it imports the serving
+// stack the way internal/core never may. The test re-labels it as core
+// before checking, proving the shipped DAG rejects the dependency.
+package brokencore
+
+import (
+	"echoimage/internal/proto"
+	"echoimage/internal/telemetry"
+)
+
+// Wire touches both forbidden packages so the imports are real.
+func Wire() string {
+	reg := telemetry.NewRegistry()
+	_ = reg
+	return proto.CodeInternal
+}

@@ -1,0 +1,15 @@
+// Package mathpkg is a layering fixture: a math-layer package that
+// breaks both halves of its rule — it imports a project package outside
+// its allowed set and a banned standard-library tree.
+package mathpkg
+
+import (
+	"os"
+
+	"echoimage/internal/analysis/testdata/src/layering/apppkg"
+)
+
+// Env leaks I/O into the math layer.
+func Env() string {
+	return os.Getenv("HOME") + apppkg.Addr("localhost", 1)
+}

@@ -1,0 +1,6 @@
+// Package undeclared is a layering fixture: it does not appear in the
+// declared DAG, which is itself a finding.
+package undeclared
+
+// Two is a constant.
+const Two = 2

@@ -1,0 +1,18 @@
+// Package faketel is a metricnames fixture: a miniature telemetry
+// registry with the checked constructor methods.
+package faketel
+
+// Registry mimics the telemetry registry's constructor surface.
+type Registry struct{ n int }
+
+// Counter registers a counter series.
+func (r *Registry) Counter(name, help string) int { r.n++; return r.n }
+
+// Gauge registers a gauge series.
+func (r *Registry) Gauge(name, help string) int { r.n++; return r.n }
+
+// Histogram registers a histogram series.
+func (r *Registry) Histogram(name, help string, buckets []float64) int { r.n++; return r.n }
+
+// Counter is also a free function elsewhere; this one must not match.
+func Counter(name string) string { return name }

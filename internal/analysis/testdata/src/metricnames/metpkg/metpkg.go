@@ -1,0 +1,24 @@
+// Package metpkg is a metricnames fixture: series registrations with
+// constant, malformed, and runtime-built names.
+package metpkg
+
+import (
+	"fmt"
+
+	"echoimage/internal/analysis/testdata/src/metricnames/faketel"
+)
+
+// goodName is a compile-time constant: clean.
+const goodName = "echoimage_const_series_total"
+
+// Register exercises every shape of name argument.
+func Register(r *faketel.Registry, shard string) []int {
+	return []int{
+		r.Counter("echoimage_requests_total", "clean literal"),
+		r.Counter(goodName, "clean constant"),
+		r.Gauge("bad-dashes", "violation: pattern"),
+		r.Gauge("Echoimage_upper_total", "violation: pattern"),
+		r.Histogram(fmt.Sprintf("echoimage_%s_total", shard), "violation: runtime-built", nil),
+		len(faketel.Counter("not_a_method_no_check")),
+	}
+}

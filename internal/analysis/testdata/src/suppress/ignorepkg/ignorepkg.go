@@ -1,0 +1,49 @@
+// Package ignorepkg is a suppression fixture: every placement and
+// failure mode of //echoimage:lint-ignore.
+package ignorepkg
+
+import "context"
+
+// Trailing suppresses on the same line: silenced.
+func Trailing(a, b float64) bool {
+	return a == b //echoimage:lint-ignore floateq fixture: same-line suppression
+}
+
+// Above suppresses from the line directly above: silenced.
+func Above(a, b float64) bool {
+	//echoimage:lint-ignore floateq fixture: line-above suppression
+	return a == b
+}
+
+// Unsuppressed stays a violation.
+func Unsuppressed(a, b float64) bool {
+	return a != b
+}
+
+// WrongRule names a different rule: the floateq finding survives, and
+// the ignore applies (uselessly) to ctxdiscipline.
+func WrongRule(a, b float64) bool {
+	//echoimage:lint-ignore ctxdiscipline fixture: wrong rule, does not silence floateq
+	return a == b
+}
+
+// OneLineOnly shows an ignore reaches exactly one line: the first
+// comparison is silenced, the second is not.
+func OneLineOnly(a, b float64) (bool, bool) {
+	//echoimage:lint-ignore floateq fixture: only the next line is covered
+	x := a == b
+	y := a != b
+	return x, y
+}
+
+// Unknown names a rule that does not exist: itself a finding.
+func Unknown(a, b int) bool {
+	//echoimage:lint-ignore nosuchrule fixture: unknown rule
+	return a == b
+}
+
+// NoReason omits the mandatory reason: itself a finding.
+func NoReason(ctx context.Context) error {
+	//echoimage:lint-ignore floateq
+	return ctx.Err()
+}

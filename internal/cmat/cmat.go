@@ -114,6 +114,7 @@ func (m *Matrix) Inverse() (*Matrix, error) {
 				continue
 			}
 			f := a.At(r, col)
+			//echoimage:lint-ignore floateq exact-zero entries need no elimination; any nonzero f, however tiny, must still be eliminated
 			if f == 0 {
 				continue
 			}

@@ -89,7 +89,10 @@ type Authenticator struct {
 }
 
 // TrainAuthenticator fits the classifier stack from enrollment images,
-// keyed by registered user ID (IDs must be positive).
+// keyed by registered user ID (IDs must be positive). It is a
+// documented non-Context compat wrapper (allowlisted for the
+// ctxdiscipline lint rule); cancellable callers — the registry's
+// retrain worker — use TrainAuthenticatorContext.
 func TrainAuthenticator(cfg AuthConfig, enrollment map[int][]*AcousticImage) (*Authenticator, error) {
 	return TrainAuthenticatorContext(context.Background(), cfg, enrollment)
 }

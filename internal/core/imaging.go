@@ -87,6 +87,8 @@ type ImagingPlan struct {
 // pixel of cfg's grid, steering the given beamformer. fs and samples
 // describe the beep windows the plan will render; planeDist is D_p and
 // emissionSec the beep emission time within each window.
+// NewImagingPlan is a documented non-Context compat wrapper
+// (allowlisted for the ctxdiscipline lint rule).
 func NewImagingPlan(cfg Config, bf *beamform.Beamformer, fs float64, samples int, planeDist, emissionSec float64) (*ImagingPlan, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -343,6 +345,9 @@ func (p *ImagingPlan) normalize(chans [][]complex128, ai *AcousticImage, refRMS 
 //
 // With Config.ImagingSubBands > 1 each returned image additionally carries
 // per-sub-band images (frequency-diverse imaging).
+//
+// ConstructAll is a documented non-Context compat wrapper (allowlisted
+// for the ctxdiscipline lint rule).
 func (im *Imager) ConstructAll(cap *Capture, planeDist, emissionSec float64, noiseOnly [][]float64) ([]*AcousticImage, error) {
 	return im.constructAllContext(context.Background(), cap, planeDist, emissionSec, noiseOnly, nil)
 }

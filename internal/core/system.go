@@ -55,6 +55,9 @@ type ProcessResult struct {
 // full-band imaging pass share one preprocessed capture — the bandpass,
 // analytic conversion and noise covariance are computed once, not per
 // stage.
+//
+// Process is a documented non-Context compat wrapper (allowlisted for
+// the ctxdiscipline lint rule); cancellable callers use ProcessContext.
 func (s *System) Process(cap *Capture, noiseOnly [][]float64) (*ProcessResult, error) {
 	return s.ProcessRecordedContext(context.Background(), cap, noiseOnly, nil)
 }
@@ -62,6 +65,7 @@ func (s *System) Process(cap *Capture, noiseOnly [][]float64) (*ProcessResult, e
 // ProcessRecorded is Process with stage instrumentation: a non-nil
 // recorder receives the preprocess, ranging and imaging durations as
 // they complete. A nil recorder adds no work to the hot path.
+// Like Process, it is an allowlisted non-Context compat wrapper.
 func (s *System) ProcessRecorded(cap *Capture, noiseOnly [][]float64, rec StageRecorder) (*ProcessResult, error) {
 	return s.ProcessRecordedContext(context.Background(), cap, noiseOnly, rec)
 }

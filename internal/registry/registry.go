@@ -335,6 +335,7 @@ func (r *Registry) worker() {
 				snap[id] = imgs // image slices are append-only; sharing is safe
 			}
 			users, images := len(snap), r.numImages
+			//echoimage:lint-ignore ctxdiscipline train contexts are rooted at the worker, not a request: cancellation comes from Close and stale-train preemption, never a caller deadline
 			ctx, cancel := context.WithCancel(context.Background())
 			r.trainGen = gen
 			r.cancel = cancel
