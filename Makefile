@@ -21,16 +21,22 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
-# One iteration per benchmark: cheap smoke run for CI, catches benchmarks
-# that no longer compile or that fail their internal assertions.
+# One iteration per benchmark, diffed and gated against the last recorded
+# run: catches benchmarks that no longer compile, that fail their internal
+# assertions, or that regressed in allocs/op by >10% (deterministic, gated
+# immediately) or in ns/op (>=50 ms benchmarks only; flagged at >10%,
+# gated only when a confirming re-run holds past >20% — shared-hardware
+# CPU steal alone moves single samples past 10%). The gated run is
+# written to a scratch file so CI never mutates the committed trajectory.
 bench-ci:
-	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem .
+	$(GO) run ./cmd/bench-report -benchtime 1x -o /tmp/bench-ci.json -label ci -prev BENCH_6.json -gate
 
-# Append a labelled benchmark run to BENCH_3.json (see EXPERIMENTS.md;
-# BENCH_1.json holds the PR-1 optimization trajectory, BENCH_3.json the
-# post-telemetry runs).
+# Append a labelled benchmark run to BENCH_6.json, diffing against the
+# previous PR's trajectory (see EXPERIMENTS.md; BENCH_1.json holds the PR-1
+# optimization trajectory, BENCH_3.json the post-telemetry runs, BENCH_5.json
+# the raw-speed round-1 runs, BENCH_6.json the Cholesky + RFFT round).
 bench-report:
-	$(GO) run ./cmd/bench-report -benchtime 1x -o BENCH_3.json -label local -append
+	$(GO) run ./cmd/bench-report -benchtime 1x -o BENCH_6.json -label local -append -prev BENCH_5.json
 
 # Boot echoimaged with the admin listener, probe /healthz and /metrics,
 # and shut it down: proves the observability endpoints answer on a real

@@ -6,9 +6,22 @@
 //
 //	bench-report -bench 'BenchmarkFigure8|BenchmarkImagingPlan' -o BENCH_1.json -label post-plan
 //	bench-report -append -o BENCH_1.json -label retest
+//	bench-report -prev BENCH_5.json -gate -o BENCH_6.json
 //
 // With -append the existing file is loaded and the new run is added to its
 // run list; otherwise the file is overwritten with a single-run report.
+//
+// With -prev the new run is diffed against the last run of the given report:
+// per-benchmark ns/op and allocs/op deltas are printed, and regressions
+// beyond 10% are flagged. With -gate such regressions also make the command
+// exit non-zero, which is how `make bench-ci` turns performance losses into
+// CI failures. Wall-clock deltas are gated only for benchmarks whose
+// baseline is at least 50 ms — faster benchmarks jitter past 10% from
+// machine noise alone at -benchtime=1x — and a flagged ns/op regression is
+// re-run once and must hold past double the threshold on the better of the
+// two samples before it gates, since shared-hardware CPU steal alone moves
+// single samples past 10%. allocs/op is deterministic, so it is gated at
+// any size with no confirmation pass.
 package main
 
 import (
@@ -66,6 +79,8 @@ func run() error {
 	out := flag.String("o", "BENCH_1.json", "output JSON file")
 	label := flag.String("label", "", "label recorded for this run (default: current date)")
 	appendRun := flag.Bool("append", false, "append to an existing report instead of overwriting")
+	prev := flag.String("prev", "", "previous BENCH_*.json to diff the new run against")
+	gate := flag.Bool("gate", false, "exit non-zero when -prev shows a >10% regression")
 	flag.Parse()
 
 	name := *label
@@ -114,7 +129,148 @@ func run() error {
 		return err
 	}
 	fmt.Printf("wrote %s: run %q with %d benchmarks\n", *out, name, len(benches))
+
+	if *prev != "" {
+		allocRegressed, nsRegressed, baseline, err := diffAgainst(*prev, benches)
+		if err != nil {
+			return err
+		}
+		if *gate && len(nsRegressed) > 0 {
+			first := make(map[string]float64, len(benches))
+			for _, b := range benches {
+				first[b.Name] = b.NsPerOp
+			}
+			nsRegressed, err = confirmNsRegressions(*pkg, nsRegressed, first, baseline)
+			if err != nil {
+				return err
+			}
+		}
+		if n := allocRegressed + len(nsRegressed); n > 0 && *gate {
+			return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs %s", n, regressThreshold*100, *prev)
+		}
+	}
 	return nil
+}
+
+// confirmNsThreshold is the relative slowdown a wall-clock regression must
+// sustain across both samples before it gates. It is double the flagging
+// threshold: CI runs on shared (often single-vCPU) hardware where hypervisor
+// CPU steal alone moves ns/op by 10-15% between a quiet and a busy hour, so
+// gating wall clock at the flagging threshold would flake on environment,
+// not code. allocs/op has no such allowance — it is deterministic.
+const confirmNsThreshold = 2 * regressThreshold
+
+// confirmNsRegressions re-runs only the wall-clock-regressed benchmarks and
+// keeps a name on the list only when the better of the two samples is still
+// past confirmNsThreshold. A single -benchtime=1x sample can double from
+// co-tenant CPU contention alone (the parallel imaging benchmarks are the
+// worst), so a ns/op failure must be seen twice — and clearly — before it
+// gates.
+func confirmNsRegressions(pkg string, names []string, first map[string]float64, baseline map[string]Benchmark) ([]string, error) {
+	fmt.Printf("\nconfirming %d wall-clock regression(s) with a re-run (gate at >%.0f%%):\n",
+		len(names), confirmNsThreshold*100)
+	pat := "^(" + strings.Join(names, "|") + ")$"
+	raw, err := runBenchmarks(pkg, pat, "3x", 1)
+	if err != nil {
+		return nil, err
+	}
+	rerun, _ := parseBenchOutput(raw)
+	second := make(map[string]float64, len(rerun))
+	for _, b := range rerun {
+		second[b.Name] = b.NsPerOp
+	}
+	var confirmed []string
+	for _, name := range names {
+		best, ok := second[name]
+		if !ok {
+			// The benchmark vanished on re-run; keep the original verdict.
+			confirmed = append(confirmed, name)
+			continue
+		}
+		if ns := first[name]; ns > 0 && ns < best {
+			best = ns
+		}
+		delta := relDelta(best, baseline[name].NsPerOp)
+		verdict := "transient, ignored"
+		if delta > confirmNsThreshold {
+			verdict = "CONFIRMED"
+			confirmed = append(confirmed, name)
+		}
+		fmt.Printf("  %-45s %12.0f ns/op (%+6.1f%%)  %s\n", name, best, delta*100, verdict)
+	}
+	return confirmed, nil
+}
+
+// regressThreshold is the relative slowdown (or alloc growth) that counts
+// as a regression when diffing against a previous report.
+const regressThreshold = 0.10
+
+// gateNsFloor is the minimum baseline ns/op for wall-clock gating;
+// benchmarks faster than this jitter past the threshold from scheduling
+// noise alone, so only their alloc counts are gated. 50 ms clears the
+// observed single-iteration noise band (~10-15% on 10 ms benchmarks at
+// -benchtime=1x) while keeping every headline figure benchmark gated.
+const gateNsFloor = 50e6
+
+// diffAgainst compares the new benchmarks against the last run of the
+// report at path, printing per-benchmark deltas. It returns the count of
+// allocs/op regressions (gated immediately), the names of the ns/op
+// regressions (gated only after confirmNsRegressions reproduces them), and
+// the baseline map for that confirmation pass.
+func diffAgainst(path string, benches []Benchmark) (int, []string, map[string]Benchmark, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("read previous report: %w", err)
+	}
+	var prevRep Report
+	if err := json.Unmarshal(raw, &prevRep); err != nil {
+		return 0, nil, nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if prevRep.Schema != schemaID {
+		return 0, nil, nil, fmt.Errorf("%s has schema %q, want %q", path, prevRep.Schema, schemaID)
+	}
+	if len(prevRep.Runs) == 0 {
+		return 0, nil, nil, fmt.Errorf("%s has no runs", path)
+	}
+	base := prevRep.Runs[len(prevRep.Runs)-1]
+	baseline := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+
+	fmt.Printf("\ndiff vs %s (run %q):\n", path, base.Label)
+	allocRegressed := 0
+	var nsRegressed []string
+	for _, b := range benches {
+		was, ok := baseline[b.Name]
+		if !ok {
+			fmt.Printf("  %-45s %12.0f ns/op %8d allocs/op  (new)\n", b.Name, b.NsPerOp, b.AllocsPerOp)
+			continue
+		}
+		nsDelta := relDelta(b.NsPerOp, was.NsPerOp)
+		allocDelta := relDelta(float64(b.AllocsPerOp), float64(was.AllocsPerOp))
+		mark := ""
+		if nsDelta > regressThreshold && was.NsPerOp >= gateNsFloor {
+			mark = "  REGRESSION(ns/op)"
+			nsRegressed = append(nsRegressed, b.Name)
+		}
+		if allocDelta > regressThreshold {
+			mark += "  REGRESSION(allocs/op)"
+			allocRegressed++
+		}
+		fmt.Printf("  %-45s %12.0f ns/op (%+6.1f%%) %8d allocs/op (%+6.1f%%)%s\n",
+			b.Name, b.NsPerOp, nsDelta*100, b.AllocsPerOp, allocDelta*100, mark)
+	}
+	return allocRegressed, nsRegressed, baseline, nil
+}
+
+// relDelta returns (now-was)/was, treating a zero baseline as no change
+// (nothing to regress against).
+func relDelta(now, was float64) float64 {
+	if was <= 0 {
+		return 0
+	}
+	return (now - was) / was
 }
 
 // runBenchmarks shells out to go test and returns the combined output.

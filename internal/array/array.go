@@ -199,14 +199,25 @@ func (a *Array) TDOAs(d Direction) []float64 {
 // phase sign matching physical arrival order): element m is e^{-jω·τ_m},
 // unit modulus.
 func (a *Array) SteeringVector(d Direction, freqHz float64) []complex128 {
+	out := make([]complex128, len(a.mics))
+	a.SteeringVectorInto(out, d, freqHz)
+	return out
+}
+
+// SteeringVectorInto writes the steering vector into dst, which must have
+// one entry per microphone. Hot loops (per-pixel imaging plans, per-bin
+// subband steering) use it with a reused buffer to avoid one allocation per
+// direction.
+func (a *Array) SteeringVectorInto(dst []complex128, d Direction, freqHz float64) {
+	if len(dst) != len(a.mics) {
+		panic(fmt.Sprintf("array: steering destination length %d for %d mics", len(dst), len(a.mics)))
+	}
 	k := 2 * math.Pi * freqHz / SpeedOfSound
 	u := d.UnitVector()
-	out := make([]complex128, len(a.mics))
 	for m, p := range a.mics {
 		// e^{-jω·τ_m} with τ_m = -u·p_m/c.
-		out[m] = cmplx.Rect(1, k*u.Dot(p))
+		dst[m] = cmplx.Rect(1, k*u.Dot(p))
 	}
-	return out
 }
 
 // FarFieldDistance returns the minimum source distance L ≥ 2d²/λ (Eq. 1)

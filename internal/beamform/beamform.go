@@ -8,6 +8,7 @@ package beamform
 import (
 	"fmt"
 	"math/cmplx"
+	"sync"
 
 	"echoimage/internal/array"
 	"echoimage/internal/cmat"
@@ -100,11 +101,11 @@ func MVDRWeights(noiseCov *cmat.Matrix, steering []complex128) ([]complex128, er
 	if noiseCov.Rows != len(steering) {
 		return nil, fmt.Errorf("beamform: covariance %dx%d vs steering %d", noiseCov.Rows, noiseCov.Cols, len(steering))
 	}
-	inv, err := noiseCov.Inverse()
+	chol, err := cmat.Factor(noiseCov)
 	if err != nil {
-		return nil, fmt.Errorf("beamform: invert noise covariance: %w", err)
+		return nil, fmt.Errorf("beamform: factor noise covariance: %w", err)
 	}
-	num, err := inv.MulVec(steering)
+	num, err := chol.SolveVec(steering)
 	if err != nil {
 		return nil, err
 	}
@@ -112,11 +113,10 @@ func MVDRWeights(noiseCov *cmat.Matrix, steering []complex128) ([]complex128, er
 	if cmplx.Abs(den) < 1e-30 {
 		return nil, fmt.Errorf("beamform: degenerate MVDR denominator %v", den)
 	}
-	w := make([]complex128, len(num))
 	for i, v := range num {
-		w[i] = v / den
+		num[i] = v / den
 	}
-	return w, nil
+	return num, nil
 }
 
 // DelayAndSumWeights returns the conventional beamformer weights
@@ -178,12 +178,18 @@ func Magnitude(x []complex128) []float64 {
 }
 
 // Beamformer bundles an array geometry with a noise covariance and center
-// frequency so callers can steer repeatedly without re-deriving state.
+// frequency so callers can steer repeatedly without re-deriving state. The
+// covariance is Cholesky-factored once at construction; every steering
+// direction then costs two triangular solves (O(M²)) instead of a fresh
+// inversion, and the imaging plan issues those solves concurrently against
+// the shared immutable factor.
 type Beamformer struct {
 	arr      *array.Array
 	noiseCov *cmat.Matrix
-	invCov   *cmat.Matrix
+	chol     *cmat.Cholesky
 	freqHz   float64
+	// steering pools *[]complex128 of length M for WeightsFor scratch.
+	steering sync.Pool
 }
 
 // New constructs a Beamformer. noiseCov may be nil, in which case spatially
@@ -202,11 +208,17 @@ func New(arr *array.Array, noiseCov *cmat.Matrix, freqHz float64) (*Beamformer, 
 	if noiseCov.Rows != arr.Len() || noiseCov.Cols != arr.Len() {
 		return nil, fmt.Errorf("beamform: covariance %dx%d for %d mics", noiseCov.Rows, noiseCov.Cols, arr.Len())
 	}
-	inv, err := noiseCov.Inverse()
+	chol, err := cmat.Factor(noiseCov)
 	if err != nil {
-		return nil, fmt.Errorf("beamform: invert noise covariance: %w", err)
+		return nil, fmt.Errorf("beamform: factor noise covariance: %w", err)
 	}
-	return &Beamformer{arr: arr, noiseCov: noiseCov, invCov: inv, freqHz: freqHz}, nil
+	b := &Beamformer{arr: arr, noiseCov: noiseCov, chol: chol, freqHz: freqHz}
+	m := arr.Len()
+	b.steering.New = func() any {
+		buf := make([]complex128, m)
+		return &buf
+	}
+	return b, nil
 }
 
 // Array returns the underlying geometry.
@@ -215,23 +227,27 @@ func (b *Beamformer) Array() *array.Array { return b.arr }
 // FreqHz returns the narrowband design frequency.
 func (b *Beamformer) FreqHz() float64 { return b.freqHz }
 
-// WeightsFor returns the MVDR weights steered at direction d, reusing the
-// cached covariance inverse.
+// WeightsFor returns the MVDR weights steered at direction d via two
+// triangular solves against the cached Cholesky factor. Only the returned
+// weight vector is allocated; the steering vector comes from a pool.
 func (b *Beamformer) WeightsFor(d array.Direction) ([]complex128, error) {
-	ps := b.arr.SteeringVector(d, b.freqHz)
-	num, err := b.invCov.MulVec(ps)
-	if err != nil {
+	psp := b.steering.Get().(*[]complex128)
+	ps := *psp
+	b.arr.SteeringVectorInto(ps, d, b.freqHz)
+	w := make([]complex128, len(ps))
+	if err := b.chol.SolveVecTo(w, ps); err != nil {
+		b.steering.Put(psp)
 		return nil, err
 	}
-	den := cmat.Dot(ps, num)
+	den := cmat.Dot(ps, w)
+	b.steering.Put(psp)
 	if cmplx.Abs(den) < 1e-30 {
 		return nil, fmt.Errorf("beamform: degenerate MVDR denominator at θ=%.3f φ=%.3f", d.Azimuth, d.Elevation)
 	}
-	// num is freshly allocated by MulVec; normalize it in place.
-	for i, v := range num {
-		num[i] = v / den
+	for i, v := range w {
+		w[i] = v / den
 	}
-	return num, nil
+	return w, nil
 }
 
 // Steer beamforms the analytic channels toward direction d with MVDR

@@ -3,6 +3,7 @@ package beamform
 import (
 	"fmt"
 	"math/cmplx"
+	"sync"
 
 	"echoimage/internal/array"
 	"echoimage/internal/cmat"
@@ -42,12 +43,29 @@ func (c SubbandConfig) Validate() error {
 type Subband struct {
 	cfg SubbandConfig
 	arr *array.Array
-	// invCov[k] is the inverse noise covariance for processed bin k
-	// (offset by binLo); nil entries mean identity.
-	invCov []*cmat.Matrix
-	size   int
-	binLo  int
-	binHi  int
+	// chol[k] is the Cholesky factor of the noise covariance for processed
+	// bin k (offset by binLo); nil entries mean identity (delay-and-sum).
+	// Each factor is computed once in NewSubband; Steer performs two
+	// triangular solves per bin against the immutable factor.
+	chol  []*cmat.Cholesky
+	size  int
+	binLo int
+	binHi int
+	// scratch pools *subbandScratch so concurrent Steer calls do not
+	// contend on shared buffers.
+	scratch sync.Pool
+}
+
+// subbandScratch holds the per-call working set of Steer: one packed
+// half-spectrum per channel, the padded real frame, the packed output
+// spectrum, and the per-bin steering/weight/snapshot vectors.
+type subbandScratch struct {
+	specs [][]complex128
+	pad   []float64
+	out   []complex128
+	ps    []complex128
+	w     []complex128
+	snap  []complex128
 }
 
 // NewSubband builds a subband beamformer for FFT frames of length size
@@ -76,28 +94,42 @@ func NewSubband(arr *array.Array, cfg SubbandConfig, size int, noiseFrames [][][
 		return nil, fmt.Errorf("beamform: empty subband bin range [%d, %d)", binLo, binHi)
 	}
 	sb := &Subband{cfg: cfg, arr: arr, size: size, binLo: binLo, binHi: binHi}
+	m := arr.Len()
+	sb.scratch.New = func() any {
+		s := &subbandScratch{
+			specs: make([][]complex128, m),
+			pad:   make([]float64, size),
+			out:   make([]complex128, size/2+1),
+			ps:    make([]complex128, m),
+			w:     make([]complex128, m),
+			snap:  make([]complex128, m),
+		}
+		for c := range s.specs {
+			s.specs[c] = make([]complex128, size/2+1)
+		}
+		return s
+	}
 
 	if len(noiseFrames) > 0 {
-		m := arr.Len()
 		cov := make([]*cmat.Matrix, binHi-binLo)
 		for k := range cov {
 			cov[k] = cmat.New(m, m)
 		}
 		frames := 0
+		pad := make([]float64, size)
 		for _, frame := range noiseFrames {
 			if len(frame) != m {
 				return nil, fmt.Errorf("beamform: noise frame has %d channels, want %d", len(frame), m)
 			}
+			// binHi ≤ size/2, so the packed one-sided spectrum covers every
+			// processed bin.
 			specs := make([][]complex128, m)
 			for c := 0; c < m; c++ {
-				padded := make([]complex128, size)
-				for i, v := range frame[c] {
-					if i >= size {
-						break
-					}
-					padded[i] = complex(v, 0)
+				for i := range pad {
+					pad[i] = 0
 				}
-				specs[c] = dsp.FFT(padded)
+				copy(pad, frame[c])
+				specs[c] = dsp.FFTReal(pad)
 			}
 			snap := make([]complex128, m)
 			for k := binLo; k < binHi; k++ {
@@ -110,7 +142,7 @@ func NewSubband(arr *array.Array, cfg SubbandConfig, size int, noiseFrames [][][
 			}
 			frames++
 		}
-		sb.invCov = make([]*cmat.Matrix, binHi-binLo)
+		sb.chol = make([]*cmat.Cholesky, binHi-binLo)
 		for k := range cov {
 			cov[k].Scale(complex(1/float64(frames), 0))
 			tr := real(cov[k].Trace())
@@ -123,11 +155,11 @@ func NewSubband(arr *array.Array, cfg SubbandConfig, size int, noiseFrames [][][
 				loading = 1e-3
 			}
 			cov[k].AddScaledIdentity(complex(loading, 0))
-			inv, err := cov[k].Inverse()
+			chol, err := cmat.Factor(cov[k])
 			if err != nil {
-				return nil, fmt.Errorf("beamform: invert bin %d covariance: %w", k+binLo, err)
+				return nil, fmt.Errorf("beamform: factor bin %d covariance: %w", k+binLo, err)
 			}
-			sb.invCov[k] = inv
+			sb.chol[k] = chol
 		}
 	}
 	return sb, nil
@@ -144,53 +176,52 @@ func (s *Subband) Steer(frame [][]float64, d array.Direction) ([]float64, error)
 	if len(frame) != m {
 		return nil, fmt.Errorf("beamform: frame has %d channels, want %d", len(frame), m)
 	}
-	specs := make([][]complex128, m)
+	sc := s.scratch.Get().(*subbandScratch)
+	defer s.scratch.Put(sc)
 	for c := 0; c < m; c++ {
-		padded := make([]complex128, s.size)
-		for i, v := range frame[c] {
-			if i >= s.size {
-				break
-			}
-			padded[i] = complex(v, 0)
+		for i := range sc.pad {
+			sc.pad[i] = 0
 		}
-		specs[c] = dsp.FFT(padded)
+		copy(sc.pad, frame[c])
+		dsp.RealFFTInto(sc.specs[c], sc.pad)
 	}
-	out := make([]complex128, s.size)
+	out := sc.out
+	for i := range out {
+		out[i] = 0
+	}
 	binHz := s.cfg.SampleRate / float64(s.size)
-	snap := make([]complex128, m)
 	for k := s.binLo; k < s.binHi; k++ {
 		freq := float64(k) * binHz
-		ps := s.arr.SteeringVector(d, freq)
-		var w []complex128
-		if s.invCov != nil && s.invCov[k-s.binLo] != nil {
-			num, err := s.invCov[k-s.binLo].MulVec(ps)
-			if err != nil {
+		s.arr.SteeringVectorInto(sc.ps, d, freq)
+		w := sc.w
+		if s.chol != nil && s.chol[k-s.binLo] != nil {
+			if err := s.chol[k-s.binLo].SolveVecTo(w, sc.ps); err != nil {
 				return nil, err
 			}
-			den := cmat.Dot(ps, num)
+			den := cmat.Dot(sc.ps, w)
 			if cmplx.Abs(den) < 1e-30 {
-				w = DelayAndSumWeights(ps)
+				delayAndSumInto(w, sc.ps)
 			} else {
-				w = make([]complex128, m)
-				for i, v := range num {
+				for i, v := range w {
 					w[i] = v / den
 				}
 			}
 		} else {
-			w = DelayAndSumWeights(ps)
+			delayAndSumInto(w, sc.ps)
 		}
 		for c := 0; c < m; c++ {
-			snap[c] = specs[c][k]
+			sc.snap[c] = sc.specs[c][k]
 		}
-		y := cmat.Dot(w, snap)
-		out[k] = y
-		// Maintain Hermitian symmetry so the inverse transform is real.
-		out[s.size-k] = cmplx.Conj(y)
+		// The packed spectrum's implied mirror bins keep the inverse real.
+		out[k] = cmat.Dot(w, sc.snap)
 	}
-	td := dsp.IFFT(out)
-	res := make([]float64, s.size)
-	for i, v := range td {
-		res[i] = real(v)
+	return dsp.IRFFT(out, s.size), nil
+}
+
+// delayAndSumInto writes conventional beamformer weights ps/M into dst.
+func delayAndSumInto(dst, ps []complex128) {
+	m := complex(float64(len(ps)), 0)
+	for i, v := range ps {
+		dst[i] = v / m
 	}
-	return res, nil
 }

@@ -47,6 +47,7 @@ func TestChirpSpectrumInBand(t *testing.T) {
 	// Zero-pad for frequency resolution.
 	padded := make([]float64, 4096)
 	copy(padded, s)
+	// Packed one-sided spectrum: bins 0..2048 cover DC through Nyquist.
 	spec := dsp.FFTReal(padded)
 	binHz := p.SampleRate / 4096
 	var inBand, total float64
@@ -73,6 +74,32 @@ func TestAtMatchesSamples(t *testing.T) {
 	}
 	if p.At(-0.001) != 0 || p.At(p.Duration) != 0 {
 		t.Error("chirp not silent outside its support")
+	}
+}
+
+// TestAccumulateMatchesAt pins the recurrence-based synthesis kernel
+// against the direct trigonometric evaluation, including fractional start
+// offsets, negative lead-in times, tapered and untapered chirps, and
+// accumulation on top of existing samples.
+func TestAccumulateMatchesAt(t *testing.T) {
+	for _, taper := range []bool{true, false} {
+		p := Default()
+		p.TaperHann = taper
+		dt := 1 / p.SampleRate
+		for _, t0 := range []float64{0, -0.0007, 0.0003, 0.00025 + dt/3} {
+			n := p.NumSamples() + 10
+			got := make([]float64, n)
+			for i := range got {
+				got[i] = 0.25 // pre-existing content must be added to
+			}
+			p.Accumulate(got, t0, dt, 0.8)
+			for i := 0; i < n; i++ {
+				want := 0.25 + 0.8*p.At(t0+float64(i)*dt)
+				if math.Abs(got[i]-want) > 1e-11 {
+					t.Fatalf("taper=%v t0=%g sample %d: accumulate %g, At %g", taper, t0, i, got[i], want)
+				}
+			}
+		}
 	}
 }
 

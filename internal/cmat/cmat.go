@@ -1,7 +1,10 @@
 // Package cmat implements the small dense complex linear algebra MVDR
-// beamforming needs: Hermitian covariance matrices, Gauss-Jordan inversion
-// with partial pivoting, and matrix-vector products. Matrices are tiny
-// (M = number of microphones, typically 6), so clarity beats asymptotics.
+// beamforming needs: Hermitian covariance matrices, Cholesky factorization
+// with triangular solves (the hot path), Gauss-Jordan inversion with
+// partial pivoting (reference and cold paths), and matrix-vector products.
+// Matrices are tiny (M = number of microphones, typically 6), so clarity
+// beats asymptotics — but the factor-once/solve-K structure still matters
+// because K is the pixel count.
 package cmat
 
 import (
@@ -61,29 +64,57 @@ func (m *Matrix) AddScaledIdentity(s complex128) *Matrix {
 
 // MulVec computes m·x for a vector x of length m.Cols.
 func (m *Matrix) MulVec(x []complex128) ([]complex128, error) {
-	if len(x) != m.Cols {
-		return nil, fmt.Errorf("cmat: MulVec dimension mismatch: %dx%d by %d", m.Rows, m.Cols, len(x))
-	}
 	out := make([]complex128, m.Rows)
+	if err := m.MulVecTo(out, x); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MulVecTo writes m·x into dst, which must have length m.Rows and must not
+// alias x. Hot loops pass a reused destination to keep the product
+// allocation-free.
+func (m *Matrix) MulVecTo(dst, x []complex128) error {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		return fmt.Errorf("cmat: MulVecTo dimension mismatch: %dx%d by %d into %d", m.Rows, m.Cols, len(x), len(dst))
+	}
 	for i := 0; i < m.Rows; i++ {
 		var s complex128
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
 		for j, v := range row {
 			s += v * x[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out, nil
+	return nil
 }
 
 // Inverse returns the inverse of a square matrix via Gauss-Jordan
-// elimination with partial pivoting. Singular (or numerically singular)
-// matrices return an error.
+// elimination with partial pivoting. Singular and near-singular matrices
+// return an error: a pivot is rejected when it falls below a tolerance
+// scaled to the matrix's infinity norm, so an ill-conditioned covariance
+// fails deterministically instead of amplifying rounding noise into
+// garbage weights. Inverse stays off the MVDR hot path — solves there go
+// through Factor/SolveInPlace — but remains the reference for tests and
+// cold paths.
 func (m *Matrix) Inverse() (*Matrix, error) {
 	if m.Rows != m.Cols {
 		return nil, fmt.Errorf("cmat: cannot invert %dx%d matrix", m.Rows, m.Cols)
 	}
 	n := m.Rows
+	// Infinity norm (max absolute row sum) of the input fixes the scale
+	// pivots are judged against.
+	var norm float64
+	for i := 0; i < n; i++ {
+		var rowSum float64
+		for j := 0; j < n; j++ {
+			rowSum += cmplx.Abs(m.At(i, j))
+		}
+		if rowSum > norm {
+			norm = rowSum
+		}
+	}
+	pivotTol := norm * float64(n) * 1e-14
 	a := m.Clone()
 	inv := Identity(n)
 	for col := 0; col < n; col++ {
@@ -95,8 +126,8 @@ func (m *Matrix) Inverse() (*Matrix, error) {
 				pivot, pivotMag = r, mag
 			}
 		}
-		if pivot < 0 || pivotMag < 1e-300 {
-			return nil, fmt.Errorf("cmat: singular matrix (pivot %d)", col)
+		if pivot < 0 || pivotMag <= pivotTol {
+			return nil, fmt.Errorf("cmat: singular matrix (pivot %d below tolerance %g)", col, pivotTol)
 		}
 		if pivot != col {
 			swapRows(a, pivot, col)

@@ -62,6 +62,43 @@ func TestInverseSingular(t *testing.T) {
 	}
 }
 
+// TestInverseScaledTolerance pins the singularity guard's scaling: the
+// tolerance tracks the matrix norm, so a numerically singular Hermitian
+// matrix is rejected no matter how large its entries are, while a merely
+// ill-conditioned (but invertible) one still inverts.
+func TestInverseScaledTolerance(t *testing.T) {
+	// Rank-one Hermitian matrix with huge entries: exactly singular, but
+	// every pivot magnitude dwarfs any absolute epsilon. An absolute
+	// pivot floor (the old 1e-300 guard) would "invert" it and return
+	// garbage; the norm-scaled tolerance must reject it.
+	v := []complex128{1e150, complex(0, 2e150), -3e150}
+	sing := New(3, 3)
+	for i := range v {
+		for j := range v {
+			sing.Set(i, j, v[i]*cmplx.Conj(v[j]))
+		}
+	}
+	if _, err := sing.Inverse(); err == nil {
+		t.Error("norm-scaled tolerance accepted a rank-one matrix with huge entries")
+	}
+
+	// Ill-conditioned but invertible Hermitian matrix (condition ~1e8):
+	// must still invert, with the round trip accurate relative to the
+	// conditioning.
+	ill := New(2, 2)
+	ill.Set(0, 0, 1)
+	ill.Set(0, 1, complex(0, 1))
+	ill.Set(1, 0, complex(0, -1))
+	ill.Set(1, 1, 1+1e-8)
+	inv, err := ill.Inverse()
+	if err != nil {
+		t.Fatalf("ill-conditioned matrix rejected: %v", err)
+	}
+	if d := MaxAbsDiff(matMul(ill, inv), Identity(2)); d > 1e-6 {
+		t.Errorf("ill-conditioned round trip off by %g", d)
+	}
+}
+
 func TestMulVec(t *testing.T) {
 	m := New(2, 2)
 	m.Set(0, 0, 1)

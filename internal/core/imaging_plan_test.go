@@ -197,6 +197,46 @@ func TestImagingPlanConcurrentReuse(t *testing.T) {
 	}
 }
 
+// TestImagingPlanConcurrentBuildSharedBeamformer builds several plans at
+// once from one shared Beamformer, so the pooled steering buffers and the
+// immutable Cholesky factor are hammered from many goroutines (the plan
+// build itself fans rows over a worker pool, multiplying the concurrency).
+// Run under -race this pins the factor-once/solve-many retrofit; the plans
+// must also agree exactly, since the solves are deterministic.
+func TestImagingPlanConcurrentBuildSharedBeamformer(t *testing.T) {
+	cfg, p, bf, capd := planTestSetup(t)
+	const builders = 6
+	plans := make([]*ImagingPlan, builders)
+	var wg sync.WaitGroup
+	errs := make(chan error, builders)
+	for g := 0; g < builders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			plan, err := NewImagingPlan(cfg, bf, capd.SampleRate, p.samples, 0.7, 0.005)
+			if err != nil {
+				errs <- err
+				return
+			}
+			plans[g] = plan
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for g := 1; g < builders; g++ {
+		for k := range plans[0].weightsConj {
+			for m := range plans[0].weightsConj[k] {
+				if plans[g].weightsConj[k][m] != plans[0].weightsConj[k][m] {
+					t.Fatalf("plan %d pixel %d weight %d differs from plan 0", g, k, m)
+				}
+			}
+		}
+	}
+}
+
 // TestImagingPlanSolverErrorNoDeadlock is the regression test for the
 // worker-pool deadlock: when every worker exits early on a solver error,
 // the row producer must not block forever on the unbuffered task channel.

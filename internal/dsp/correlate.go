@@ -28,64 +28,80 @@ func MatchedFilter(r, s []float64) []float64 {
 //
 //	C[lag] = sum_k r[k+lag] * s[k],  lag = -(len(s)-1) .. len(r)-1,
 //
-// via FFT convolution. The returned slice has length len(r)+len(s)-1 with
-// index i corresponding to lag i-(len(s)-1).
+// via real-input FFT convolution over packed one-sided spectra. The
+// returned slice has length len(r)+len(s)-1 with index i corresponding to
+// lag i-(len(s)-1).
 func CrossCorrelate(r, s []float64) []float64 {
 	n, m := len(r), len(s)
 	if n == 0 || m == 0 {
 		return nil
 	}
 	size := NextPow2(n + m - 1)
-	fr := make([]complex128, size)
-	fs := make([]complex128, size)
-	for i, v := range r {
-		fr[i] = complex(v, 0)
+	p := rfftPlanFor(size)
+	// Time-reverse s so convolution becomes correlation, exactly as the
+	// planned path caches it.
+	fs := p.getSpec()
+	padp := p.getPad()
+	pad := *padp
+	for i := range pad {
+		pad[i] = 0
 	}
-	// Time-reverse s so convolution becomes correlation.
 	for i, v := range s {
-		fs[m-1-i] = complex(v, 0)
+		pad[m-1-i] = v
 	}
-	fftRadix2(fr, false)
-	fftRadix2(fs, false)
-	for i := range fr {
-		fr[i] *= fs[i]
-	}
-	fftRadix2(fr, true)
-	scale := 1 / float64(size)
-	out := make([]float64, n+m-1)
-	for i := range out {
-		out[i] = real(fr[i]) * scale
-	}
+	realFFTInto(*fs, pad)
+	out := realSpectrumConvolve(p, r, *fs, n+m-1)
+	p.putSpec(fs)
+	p.putPad(padp)
 	return out
 }
 
-// Convolve computes the full linear convolution of a and b via FFT. The
-// result has length len(a)+len(b)-1.
+// realSpectrumConvolve circularly convolves r (zero-padded to the plan's
+// transform size) with the packed spectrum fs and returns the first outLen
+// samples. It is the shared engine of CrossCorrelate, Convolve and the
+// matched-filter plan: any path that caches fs and calls this produces
+// bitwise-identical output to the uncached functions.
+func realSpectrumConvolve(p *rfftPlan, r []float64, fs []complex128, outLen int) []float64 {
+	padp := p.getPad()
+	pad := *padp
+	copy(pad, r)
+	for i := len(r); i < len(pad); i++ {
+		pad[i] = 0
+	}
+	frp := p.getSpec()
+	fr := *frp
+	realFFTInto(fr, pad)
+	for i := range fr {
+		fr[i] *= fs[i]
+	}
+	irfftInto(pad, fr)
+	out := make([]float64, outLen)
+	copy(out, pad)
+	p.putSpec(frp)
+	p.putPad(padp)
+	return out
+}
+
+// Convolve computes the full linear convolution of a and b via real-input
+// FFT. The result has length len(a)+len(b)-1.
 func Convolve(a, b []float64) []float64 {
 	n, m := len(a), len(b)
 	if n == 0 || m == 0 {
 		return nil
 	}
 	size := NextPow2(n + m - 1)
-	fa := make([]complex128, size)
-	fb := make([]complex128, size)
-	for i, v := range a {
-		fa[i] = complex(v, 0)
+	p := rfftPlanFor(size)
+	fb := p.getSpec()
+	padp := p.getPad()
+	pad := *padp
+	copy(pad, b)
+	for i := m; i < len(pad); i++ {
+		pad[i] = 0
 	}
-	for i, v := range b {
-		fb[i] = complex(v, 0)
-	}
-	fftRadix2(fa, false)
-	fftRadix2(fb, false)
-	for i := range fa {
-		fa[i] *= fb[i]
-	}
-	fftRadix2(fa, true)
-	scale := 1 / float64(size)
-	out := make([]float64, n+m-1)
-	for i := range out {
-		out[i] = real(fa[i]) * scale
-	}
+	realFFTInto(*fb, pad)
+	out := realSpectrumConvolve(p, a, *fb, n+m-1)
+	p.putSpec(fb)
+	p.putPad(padp)
 	return out
 }
 

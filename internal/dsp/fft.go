@@ -56,30 +56,23 @@ func IFFT(x []complex128) []complex128 {
 	}
 }
 
-// FFTReal transforms a real-valued signal. It widens to complex128 and
-// transforms the widened buffer in place, avoiding FFT's defensive copy.
-func FFTReal(x []float64) []complex128 {
-	n := len(x)
-	if n == 0 {
-		return nil
-	}
-	cx := make([]complex128, n)
-	for i, v := range x {
-		cx[i] = complex(v, 0)
-	}
-	if n&(n-1) == 0 {
-		fftRadix2(cx, false)
-		return cx
-	}
-	return bluestein(cx, false)
-}
-
-// fftRadix2 runs an iterative radix-2 DIT FFT in place. The length of x must
-// be a power of two. When inverse is true the conjugate transform is
-// computed (without the 1/N scale). Twiddle factors and the bit-reversal
-// permutation come from the per-size plan cache: table lookups keep the
-// butterfly loop free of the serial w *= wStep recurrence and its
-// accumulated rounding error.
+// fftRadix2 runs an iterative power-of-two DIT FFT in place, radix-4 with a
+// single radix-2 stage when log₂(n) is odd. When inverse is true the
+// conjugate transform is computed (without the 1/N scale). Twiddle factors
+// and the bit-reversal permutation come from the per-size plan cache.
+//
+// The radix-4 butterfly evaluates four outputs with three complex
+// multiplies — against four for two fused radix-2 stages — and halves the
+// number of passes over the data:
+//
+//	p = x[k], q = W^{2j}·x[k+h], r = W^{j}·x[k+2h], s = W^{3j}·x[k+3h]
+//	a = p+q, b = p-q, c = r+s, d = ∓i·(r-s)
+//	x[k] = a+c, x[k+h] = b+d, x[k+2h] = a-c, x[k+3h] = b-d
+//
+// (the ∓i rotation is a component swap, not a multiply). The quarter-stride
+// assignment of W^{j} vs W^{2j} follows from fusing two radix-2 stages over
+// bit-reversed input, which is what keeps the standard bit-reversal
+// permutation valid for a radix-4 pass.
 func fftRadix2(x []complex128, inverse bool) {
 	n := len(x)
 	if n <= 1 {
@@ -92,25 +85,42 @@ func fftRadix2(x []complex128, inverse bool) {
 		x[i], x[j] = x[j], x[i]
 	}
 	tw := p.fwd
+	rot := complex(0, -1)
 	if inverse {
 		tw = p.inv
+		rot = complex(0, 1)
 	}
-	// First stage (size 2): twiddle is 1, pure add/sub.
-	for start := 0; start+1 < n; start += 2 {
-		a, b := x[start], x[start+1]
-		x[start] = a + b
-		x[start+1] = a - b
+	size := 4
+	if bits.TrailingZeros(uint(n))&1 == 1 {
+		// Odd log₂(n): one twiddle-free radix-2 pass, radix-4 from size 8.
+		for start := 0; start+1 < n; start += 2 {
+			a, b := x[start], x[start+1]
+			x[start] = a + b
+			x[start+1] = a - b
+		}
+		size = 8
 	}
-	for size := 4; size <= n; size <<= 1 {
-		half := size >> 1
+	for ; size <= n; size <<= 2 {
+		h := size >> 2
 		stride := n / size
 		for start := 0; start < n; start += size {
-			ti := 0
-			for k := start; k < start+half; k++ {
-				a := x[k]
-				b := x[k+half] * tw[ti]
-				x[k] = a + b
-				x[k+half] = a - b
+			// j == 0: every twiddle is 1.
+			k := start
+			pv, q, r, s := x[k], x[k+h], x[k+2*h], x[k+3*h]
+			a, b := pv+q, pv-q
+			c, d := r+s, (r-s)*rot
+			x[k], x[k+h] = a+c, b+d
+			x[k+2*h], x[k+3*h] = a-c, b-d
+			ti := stride
+			for k := start + 1; k < start+h; k++ {
+				pv := x[k]
+				q := x[k+h] * tw[2*ti]
+				r := x[k+2*h] * tw[ti]
+				s := x[k+3*h] * tw[3*ti]
+				a, b := pv+q, pv-q
+				c, d := r+s, (r-s)*rot
+				x[k], x[k+h] = a+c, b+d
+				x[k+2*h], x[k+3*h] = a-c, b-d
 				ti += stride
 			}
 		}
@@ -122,6 +132,16 @@ func fftRadix2(x []complex128, inverse bool) {
 // spectrum of the (fixed, per-size) b sequence come from the plan cache, so
 // each call performs two radix-2 transforms over a pooled scratch buffer.
 func bluestein(x []complex128, inverse bool) []complex128 {
+	out := make([]complex128, len(x))
+	bluesteinTo(out, x, inverse)
+	return out
+}
+
+// bluesteinTo runs the chirp-z transform writing into out, which must have
+// the length of x and may alias it (x is fully consumed before out is
+// written). The in-place form lets the real-transform path run Bluestein
+// over pooled buffers without intermediate allocation.
+func bluesteinTo(out, x []complex128, inverse bool) {
 	n := len(x)
 	p := bluesteinPlanFor(n, inverse)
 	w, m := p.w, p.m
@@ -140,12 +160,10 @@ func bluestein(x []complex128, inverse bool) []complex128 {
 	}
 	fftRadix2(a, true)
 	scale := complex(1/float64(m), 0)
-	out := make([]complex128, n)
 	for k := 0; k < n; k++ {
 		out[k] = a[k] * scale * w[k]
 	}
 	p.scratch.Put(bufp)
-	return out
 }
 
 // NextPow2 returns the smallest power of two >= n. It panics for n < 0 and

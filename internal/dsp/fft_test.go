@@ -156,10 +156,12 @@ func TestNextPow2PanicsOnNegative(t *testing.T) {
 }
 
 func TestFFTReal(t *testing.T) {
+	// FFTReal returns the packed one-sided spectrum: bins 0..n/2 of the
+	// full transform.
 	x := []float64{1, 2, 3, 4}
 	cx := make([]complex128, 4)
 	for i, v := range x {
 		cx[i] = complex(v, 0)
 	}
-	complexSliceClose(t, FFTReal(x), FFT(cx), 1e-12, "FFTReal")
+	complexSliceClose(t, FFTReal(x), FFT(cx)[:3], 1e-12, "FFTReal")
 }

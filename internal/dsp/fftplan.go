@@ -15,8 +15,8 @@ import (
 type fftPlan struct {
 	n     int
 	swaps []int32      // flattened (i, j) pairs with i < j
-	fwd   []complex128 // fwd[k] = exp(-2πik/n), k < n/2
-	inv   []complex128 // inv[k] = exp(+2πik/n), k < n/2
+	fwd   []complex128 // fwd[k] = exp(-2πik/n), k < 3n/4 (radix-4 reads W^{3j})
+	inv   []complex128 // inv[k] = exp(+2πik/n), k < 3n/4
 }
 
 // fftPlans caches plans by transform size. Transform sizes are few (one or
@@ -41,10 +41,14 @@ func newFFTPlan(n int) *fftPlan {
 			p.swaps = append(p.swaps, int32(i), int32(j))
 		}
 	}
-	half := n / 2
-	p.fwd = make([]complex128, half)
-	p.inv = make([]complex128, half)
-	for k := 0; k < half; k++ {
+	// The radix-4 butterfly's largest twiddle index is 3j·(n/size) < 3n/4.
+	limit := 3 * n / 4
+	if limit < 1 {
+		limit = 1
+	}
+	p.fwd = make([]complex128, limit)
+	p.inv = make([]complex128, limit)
+	for k := 0; k < limit; k++ {
 		s, c := math.Sincos(2 * math.Pi * float64(k) / float64(n))
 		p.fwd[k] = complex(c, -s)
 		p.inv[k] = complex(c, s)

@@ -58,16 +58,52 @@ type SOSFilter struct {
 func (f *SOSFilter) Filter(x []float64) []float64 {
 	out := make([]float64, len(x))
 	copy(out, x)
-	for _, s := range f.Sections {
-		out = s.Filter(out)
+	f.filterInPlace(out)
+	return out
+}
+
+// filterInPlace runs the cascade over x in place. Adjacent sections are
+// fused into one pass — each section's recurrence is evaluated with exactly
+// the same operations as a standalone pass (so results are bitwise
+// identical), but the intermediate signal never round-trips through memory
+// and the per-section output allocations disappear. FiltFilt runs four
+// section passes over every channel of every beep, which made the cascade
+// the pipeline's second-largest cost after the FFTs.
+func (f *SOSFilter) filterInPlace(x []float64) {
+	i := 0
+	for ; i+1 < len(f.Sections); i += 2 {
+		biquadPair(f.Sections[i], f.Sections[i+1], x)
+	}
+	if i < len(f.Sections) {
+		s := f.Sections[i]
+		var z1, z2 float64
+		for j, v := range x {
+			y := s.B0*v + z1
+			z1 = s.B1*v - s.A1*y + z2
+			z2 = s.B2*v - s.A2*y
+			x[j] = y
+		}
 	}
 	//echoimage:lint-ignore floateq skip-if-identity fast path: Gain is exactly 1 when the cascade was never normalized
 	if f.Gain != 1 {
-		for i := range out {
-			out[i] *= f.Gain
+		for j := range x {
+			x[j] *= f.Gain
 		}
 	}
-	return out
+}
+
+// biquadPair applies two cascaded biquads in one pass over x.
+func biquadPair(a, b Biquad, x []float64) {
+	var az1, az2, bz1, bz2 float64
+	for i, v := range x {
+		y1 := a.B0*v + az1
+		az1 = a.B1*v - a.A1*y1 + az2
+		az2 = a.B2*v - a.A2*y1
+		y2 := b.B0*y1 + bz1
+		bz1 = b.B1*y1 - b.A1*y2 + bz2
+		bz2 = b.B2*y1 - b.A2*y2
+		x[i] = y2
+	}
 }
 
 // Response evaluates the cascade's complex frequency response at normalized
@@ -112,12 +148,12 @@ func (f *SOSFilter) FiltFilt(x []float64) []float64 {
 	for i := n - 2; i >= n-1-pad; i-- {
 		ext = append(ext, 2*x[n-1]-x[i])
 	}
-	y := f.Filter(ext)
-	reverse(y)
-	y = f.Filter(y)
-	reverse(y)
+	f.filterInPlace(ext)
+	reverse(ext)
+	f.filterInPlace(ext)
+	reverse(ext)
 	out := make([]float64, n)
-	copy(out, y[pad:pad+n])
+	copy(out, ext[pad:pad+n])
 	return out
 }
 

@@ -3,20 +3,19 @@ package dsp
 import "sync"
 
 // MatchedFilterPlan caches the frequency-domain state of a matched filter
-// with a fixed template: the FFT of the time-reversed template at every
-// convolution size encountered, plus a scratch-buffer pool for the signal
-// transform. The pipeline correlates every beamformed beep (and the
-// background reference) against the same probe chirp, so the template
-// spectrum is computed once per size instead of once per call.
+// with a fixed template: the packed one-sided RFFT of the time-reversed
+// template at every convolution size encountered. The pipeline correlates
+// every beamformed beep (and the background reference) against the same
+// probe chirp, so the template spectrum is computed once per size instead
+// of once per call; signal transforms run over the per-size rfftPlan's
+// pooled buffers.
 //
 // A plan is safe for concurrent use.
 type MatchedFilterPlan struct {
 	template []float64
 
 	mu    sync.RWMutex
-	specs map[int][]complex128 // conv size -> FFT of time-reversed template
-
-	scratch sync.Pool // *[]complex128, capacity grows to the largest size
+	specs map[int][]complex128 // conv size -> packed RFFT of time-reversed template
 }
 
 // NewMatchedFilterPlan builds a plan for the given template. The template
@@ -24,23 +23,18 @@ type MatchedFilterPlan struct {
 func NewMatchedFilterPlan(template []float64) *MatchedFilterPlan {
 	t := make([]float64, len(template))
 	copy(t, template)
-	p := &MatchedFilterPlan{
+	return &MatchedFilterPlan{
 		template: t,
 		specs:    make(map[int][]complex128),
 	}
-	p.scratch.New = func() any {
-		var buf []complex128
-		return &buf
-	}
-	return p
 }
 
 // Template returns the plan's template (shared storage; do not mutate).
 func (p *MatchedFilterPlan) Template() []float64 { return p.template }
 
-// spectrum returns the cached FFT of the zero-padded, time-reversed
-// template at the given power-of-two size.
-func (p *MatchedFilterPlan) spectrum(size int) []complex128 {
+// spectrum returns the cached packed RFFT of the zero-padded,
+// time-reversed template at the given power-of-two size.
+func (p *MatchedFilterPlan) spectrum(rp *rfftPlan, size int) []complex128 {
 	p.mu.RLock()
 	spec, ok := p.specs[size]
 	p.mu.RUnlock()
@@ -48,13 +42,14 @@ func (p *MatchedFilterPlan) spectrum(size int) []complex128 {
 		return spec
 	}
 	m := len(p.template)
-	fs := make([]complex128, size)
+	pad := make([]float64, size)
 	// Time-reverse the template so convolution becomes correlation,
 	// exactly as CrossCorrelate does.
 	for i, v := range p.template {
-		fs[m-1-i] = complex(v, 0)
+		pad[m-1-i] = v
 	}
-	fftRadix2(fs, false)
+	fs := make([]complex128, size/2+1)
+	realFFTInto(fs, pad)
 	p.mu.Lock()
 	if prior, ok := p.specs[size]; ok {
 		fs = prior
@@ -67,41 +62,16 @@ func (p *MatchedFilterPlan) spectrum(size int) []complex128 {
 
 // CrossCorrelate computes CrossCorrelate(r, template) using the cached
 // template spectrum. Results are identical (bitwise) to the unplanned
-// function: the same FFT size, transform and scaling are used.
+// function: both run the same packed-spectrum convolution engine at the
+// same size.
 func (p *MatchedFilterPlan) CrossCorrelate(r []float64) []float64 {
 	n, m := len(r), len(p.template)
 	if n == 0 || m == 0 {
 		return nil
 	}
 	size := NextPow2(n + m - 1)
-	spec := p.spectrum(size)
-
-	bufp := p.scratch.Get().(*[]complex128)
-
-	fr := *bufp
-	if cap(fr) < size {
-		fr = make([]complex128, size)
-	}
-	fr = fr[:size]
-	for i, v := range r {
-		fr[i] = complex(v, 0)
-	}
-	for i := n; i < size; i++ {
-		fr[i] = 0
-	}
-	fftRadix2(fr, false)
-	for i := range fr {
-		fr[i] *= spec[i]
-	}
-	fftRadix2(fr, true)
-	scale := 1 / float64(size)
-	out := make([]float64, n+m-1)
-	for i := range out {
-		out[i] = real(fr[i]) * scale
-	}
-	*bufp = fr
-	p.scratch.Put(bufp)
-	return out
+	rp := rfftPlanFor(size)
+	return realSpectrumConvolve(rp, r, p.spectrum(rp, size), n+m-1)
 }
 
 // MatchedFilter computes MatchedFilter(r, template) using the cached

@@ -68,15 +68,21 @@ func STFT(x []float64, fs float64, cfg STFTConfig) (*Spectrogram, error) {
 		BinHz:  fs / float64(size),
 		HopSec: float64(cfg.HopSize) / fs,
 	}
-	frame := make([]complex128, size)
+	// Frames are real, so one packed half-spectrum per frame is the whole
+	// transform; frame and spectrum buffers come from the size's plan pools.
+	p := rfftPlanFor(size)
+	framep := p.getPad()
+	frame := *framep
+	specp := p.getSpec()
+	spec := *specp
 	for start := 0; start+cfg.FrameSize <= len(x); start += cfg.HopSize {
-		for i := range frame {
+		for i := cfg.FrameSize; i < size; i++ {
 			frame[i] = 0
 		}
 		for i := 0; i < cfg.FrameSize; i++ {
-			frame[i] = complex(x[start+i]*win[i], 0)
+			frame[i] = x[start+i] * win[i]
 		}
-		spec := FFT(frame)
+		realFFTInto(spec, frame)
 		mags := make([]float64, bins)
 		for k := 0; k < bins; k++ {
 			re, im := real(spec[k]), imag(spec[k])
@@ -84,6 +90,8 @@ func STFT(x []float64, fs float64, cfg STFTConfig) (*Spectrogram, error) {
 		}
 		out.Mag = append(out.Mag, mags)
 	}
+	p.putSpec(specp)
+	p.putPad(framep)
 	if len(out.Mag) == 0 {
 		return nil, fmt.Errorf("dsp: signal of %d samples shorter than one %d-sample frame", len(x), cfg.FrameSize)
 	}

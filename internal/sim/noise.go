@@ -24,7 +24,9 @@ func (s Spectrum) Generate(rng *rand.Rand, n int, fs float64) []float64 {
 		return nil
 	}
 	size := dsp.NextPow2(n)
-	spec := make([]complex128, size)
+	// The spectrum is Hermitian by construction (real noise), so only the
+	// packed one-sided half is populated; IRFFT supplies the mirror bins.
+	spec := make([]complex128, size/2+1)
 	binHz := fs / float64(size)
 	for k := 1; k < size/2; k++ {
 		mag := s.Envelope(float64(k) * binHz)
@@ -32,15 +34,13 @@ func (s Spectrum) Generate(rng *rand.Rand, n int, fs float64) []float64 {
 			continue
 		}
 		phase := rng.Float64() * 2 * math.Pi
-		v := complex(mag*math.Cos(phase), mag*math.Sin(phase))
-		spec[k] = v
-		spec[size-k] = complex(real(v), -imag(v))
+		spec[k] = complex(mag*math.Cos(phase), mag*math.Sin(phase))
 	}
-	td := dsp.IFFT(spec)
+	td := dsp.IRFFT(spec, size)
 	out := make([]float64, n)
 	var energy float64
 	for i := 0; i < n; i++ {
-		out[i] = real(td[i])
+		out[i] = td[i]
 		energy += out[i] * out[i]
 	}
 	rms := math.Sqrt(energy / float64(n))

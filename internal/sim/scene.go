@@ -326,10 +326,9 @@ func (s *Scene) captureBeep(c chirp.Params, body []Reflector, rng *rand.Rand) ([
 		if end > n {
 			end = n
 		}
-		for i := start; i < end; i++ {
-			t := float64(i)/fs - delaySec
-			ch[i] += amp * c.At(t)
-		}
+		// Chirp evaluation at the arrival's exact fractional delay; the
+		// recurrence form replaces per-sample trigonometry.
+		c.Accumulate(ch[start:end], float64(start)/fs-delaySec, 1/fs, amp)
 	}
 
 	for mi := 0; mi < m; mi++ {
