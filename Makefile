@@ -29,14 +29,15 @@ bench:
 # CPU steal alone moves single samples past 10%). The gated run is
 # written to a scratch file so CI never mutates the committed trajectory.
 bench-ci:
-	$(GO) run ./cmd/bench-report -benchtime 1x -o /tmp/bench-ci.json -label ci -prev BENCH_6.json -gate
+	$(GO) run ./cmd/bench-report -benchtime 1x -o /tmp/bench-ci.json -label ci -prev BENCH_7.json -gate
 
-# Append a labelled benchmark run to BENCH_6.json, diffing against the
+# Append a labelled benchmark run to BENCH_7.json, diffing against the
 # previous PR's trajectory (see EXPERIMENTS.md; BENCH_1.json holds the PR-1
 # optimization trajectory, BENCH_3.json the post-telemetry runs, BENCH_5.json
-# the raw-speed round-1 runs, BENCH_6.json the Cholesky + RFFT round).
+# the raw-speed round-1 runs, BENCH_6.json the Cholesky + RFFT round,
+# BENCH_7.json the ANN-identification round with the scale benchmarks).
 bench-report:
-	$(GO) run ./cmd/bench-report -benchtime 1x -o BENCH_6.json -label local -append -prev BENCH_5.json
+	$(GO) run ./cmd/bench-report -benchtime 1x -o BENCH_7.json -label local -append -prev BENCH_6.json
 
 # Boot echoimaged with the admin listener, probe /healthz and /metrics,
 # and shut it down: proves the observability endpoints answer on a real

@@ -10,6 +10,7 @@ package echoimage_test
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"echoimage"
 	"echoimage/internal/array"
@@ -231,6 +232,52 @@ func BenchmarkAblationAuthStack(b *testing.B) {
 			}
 		}
 	}
+}
+
+// ---- Scale-identification benchmarks ----------------------------------
+
+// scaleIDBench runs the synthetic-enrollee identification study once per
+// iteration and enforces its acceptance floor: sub-millisecond ANN
+// lookups, and at the 100k acceptance point a ≥50× speedup over the
+// exhaustive scan with shortlist recall high enough that re-ranking sees
+// the true user.
+func scaleIDBench(b *testing.B, cfg experiments.ScaleIDConfig, minSpeedup float64) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunScaleID(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.ANNP50 >= time.Millisecond {
+			b.Fatalf("ANN lookup p50 %v, want < 1ms", r.ANNP50)
+		}
+		if minSpeedup > 0 && r.Speedup < minSpeedup {
+			b.Fatalf("speedup %.1f× over exhaustive scan, want >= %.0f×", r.Speedup, minSpeedup)
+		}
+		if r.UserRecall < 0.99 {
+			b.Fatalf("user recall %.3f, want >= 0.99", r.UserRecall)
+		}
+		if i == 0 {
+			b.Logf("%d enrollees: build %v, ANN p50 %v p99 %v, scan p50 %v (%.0f×), user recall %.3f, top-k overlap %.3f",
+				r.Enrollees, r.Build.Round(time.Millisecond), r.ANNP50, r.ANNP99, r.ScanP50, r.Speedup, r.UserRecall, r.ScanRecall)
+			b.ReportMetric(float64(r.ANNP50.Nanoseconds()), "ann-p50-ns")
+			b.ReportMetric(r.Speedup, "scan-speedup")
+		}
+	}
+}
+
+// BenchmarkScaleIdentification10k indexes 10k synthetic enrollees from
+// internal/body profiles and measures ANN shortlist lookups against the
+// exhaustive scan.
+func BenchmarkScaleIdentification10k(b *testing.B) {
+	scaleIDBench(b, experiments.ScaleID10k(), 0)
+}
+
+// BenchmarkScaleIdentification100k is the acceptance point of the
+// sublinear-identification engine: 100k enrollees, sub-millisecond
+// lookups, ≥50× over the exhaustive scan.
+func BenchmarkScaleIdentification100k(b *testing.B) {
+	scaleIDBench(b, experiments.ScaleID100k(), 50)
 }
 
 // ---- Pipeline micro-benchmarks ----------------------------------------

@@ -202,8 +202,14 @@ func run() error {
 			if resp.Loaded {
 				origin = "loaded from disk"
 			}
+			if resp.Extended {
+				origin = "extended"
+			}
 			fmt.Printf("model v%d (%s): %d users, %d images, trained in %d ms at %s\n",
 				resp.ModelVersion, origin, resp.Users, resp.Images, resp.TrainMillis, resp.TrainedAt)
+			if resp.IdentifyMode != "" {
+				fmt.Printf("identification: %s (%d indexed vectors)\n", resp.IdentifyMode, resp.IndexSize)
+			}
 		}
 		if resp.LastError != "" {
 			fmt.Printf("last train error: %s\n", resp.LastError)

@@ -26,7 +26,7 @@ func main() {
 
 func run() error {
 	scaleName := flag.String("scale", "ci", "experiment scale: quick, ci or paper")
-	runList := flag.String("run", "all", "comma-separated experiments: table1,fig5,fig8,fig11,fig12,fig13,fig14,replay,sessions,singleuser,gateroc,ablation or all")
+	runList := flag.String("run", "all", "comma-separated experiments: table1,fig5,fig8,fig11,fig12,fig13,fig14,replay,sessions,singleuser,gateroc,ablation,scaleid or all")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -179,6 +179,25 @@ func run() error {
 			return err
 		}
 		experiments.WriteAuthAblation(out, arows)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("scaleid", func() error {
+		// Beyond-paper study: synthetic-enrollee identification scale.
+		// quick=10k, ci=100k, paper=1M registered users.
+		cfg := experiments.ScaleID100k()
+		switch scale.Name {
+		case "quick":
+			cfg = experiments.ScaleID10k()
+		case "paper":
+			cfg = experiments.ScaleID1M()
+		}
+		r, err := experiments.RunScaleID(cfg)
+		if err != nil {
+			return err
+		}
+		r.Write(out)
 		return nil
 	}); err != nil {
 		return err

@@ -29,6 +29,8 @@ func DefaultSuite() []Analyzer {
 				"echoimage/internal/array":  {ForbiddenStd: mathLayerStdBan},
 				"echoimage/internal/chirp":  {ForbiddenStd: mathLayerStdBan},
 				"echoimage/internal/aimage": {ForbiddenStd: mathLayerStdBan},
+				"echoimage/internal/embed":  {ForbiddenStd: mathLayerStdBan},
+				"echoimage/internal/index":  {ForbiddenStd: mathLayerStdBan},
 				"echoimage/internal/beamform": {
 					AllowedProject: []string{
 						"echoimage/internal/array",
@@ -64,7 +66,9 @@ func DefaultSuite() []Analyzer {
 					"echoimage/internal/chirp",
 					"echoimage/internal/cmat",
 					"echoimage/internal/dsp",
+					"echoimage/internal/embed",
 					"echoimage/internal/features",
+					"echoimage/internal/index",
 					"echoimage/internal/svm",
 				}},
 
@@ -84,6 +88,8 @@ func DefaultSuite() []Analyzer {
 					"echoimage/internal/chirp",
 					"echoimage/internal/core",
 					"echoimage/internal/dataset",
+					"echoimage/internal/embed",
+					"echoimage/internal/index",
 					"echoimage/internal/metrics",
 					"echoimage/internal/sim",
 				}},

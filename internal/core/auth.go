@@ -5,14 +5,81 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
+	"echoimage/internal/embed"
 	"echoimage/internal/features"
+	"echoimage/internal/index"
 	"echoimage/internal/svm"
 )
 
+// IdentifyMode selects the identification engine.
+type IdentifyMode string
+
+const (
+	// IdentifyANN is the sublinear default: project the whitened feature
+	// vector into the shared embedding space, shortlist candidate users
+	// from an HNSW index over the enrollment embeddings, re-rank the
+	// shortlist (by one-vs-one SVM margin when available, accumulated
+	// cosine similarity otherwise), and gate with SVDD.
+	IdentifyANN IdentifyMode = "ann"
+	// IdentifyExhaustive is the paper's reference path: the full
+	// one-vs-one SVM vote over every registered user — O(n²) decisions
+	// per image. Retained for ablation and as the fallback for models
+	// persisted before the embedding space existed.
+	IdentifyExhaustive IdentifyMode = "exhaustive"
+)
+
+// IdentifyConfig parameterizes identification. The zero value means the
+// ANN engine with the defaults below.
+type IdentifyConfig struct {
+	// Mode picks the engine; empty means IdentifyANN.
+	Mode IdentifyMode
+	// Shortlist is how many nearest enrollment embeddings the ANN lookup
+	// returns; the distinct user labels among them are the candidate set.
+	// 0 means 16.
+	Shortlist int
+	// Index tunes the HNSW graph (zero fields take index defaults).
+	Index index.Config
+	// MaxSVMUsers bounds the per-bin user count for which the one-vs-one
+	// margin re-ranker is trained. Beyond it — where O(n²) pair training
+	// stops scaling — shortlisted candidates are ranked by accumulated
+	// cosine similarity alone. 0 means 64.
+	MaxSVMUsers int
+}
+
+// DefaultShortlist is the ANN shortlist size when IdentifyConfig.Shortlist
+// is zero.
+const DefaultShortlist = 16
+
+// DefaultMaxSVMUsers is the per-bin user bound for the SVM re-ranker when
+// IdentifyConfig.MaxSVMUsers is zero.
+const DefaultMaxSVMUsers = 64
+
+func (c IdentifyConfig) mode() IdentifyMode {
+	if c.Mode == IdentifyExhaustive {
+		return IdentifyExhaustive
+	}
+	return IdentifyANN
+}
+
+func (c IdentifyConfig) shortlist() int {
+	if c.Shortlist > 0 {
+		return c.Shortlist
+	}
+	return DefaultShortlist
+}
+
+func (c IdentifyConfig) maxSVMUsers() int {
+	if c.MaxSVMUsers > 0 {
+		return c.MaxSVMUsers
+	}
+	return DefaultMaxSVMUsers
+}
+
 // AuthConfig parameterizes the user-authentication component (§V-D/E):
-// the frozen feature extractor, the SVDD spoofer gate and the n-class SVM.
+// the frozen feature extractor, the SVDD spoofer gate and identification.
 type AuthConfig struct {
 	// Features sizes the frozen VGGishLite extractor.
 	Features features.Config
@@ -20,6 +87,10 @@ type AuthConfig struct {
 	SVC svm.SVCConfig
 	// SVDD configures the one-class spoofer gate.
 	SVDD svm.SVDDConfig
+	// Identify selects and tunes the identification engine: the shared
+	// embedding space + ANN index by default, the paper's exhaustive
+	// one-vs-one SVM scan as the reference/fallback.
+	Identify IdentifyConfig
 	// Gamma is the RBF kernel width; 0 calibrates it per plane bin from
 	// the supervised within-class distances of the enrollment set.
 	Gamma float64
@@ -45,7 +116,8 @@ type AuthConfig struct {
 	PooledGate bool
 }
 
-// DefaultAuthConfig matches the paper's classifier stack.
+// DefaultAuthConfig matches the paper's classifier stack, with the
+// embedding + ANN identification engine in front of it.
 func DefaultAuthConfig() AuthConfig {
 	return AuthConfig{
 		Features: features.DefaultConfig(),
@@ -72,20 +144,34 @@ type binModel struct {
 	whiten   *Whitener
 	gate     *svm.SVDD         // pooled gate over every user in the bin
 	userGate map[int]*svm.SVDD // per-user verification spheres
-	identify *svm.MultiClass   // nil when the bin holds a single user
+	identify *svm.MultiClass   // margin re-ranker; nil above MaxSVMUsers or single-user
 	users    []int
+	gamma    float64      // fitted RBF width; extension reuses it
+	embeds   *embed.Set   // enrollment embeddings, row ID = user label
+	ann      *index.Index // HNSW over embedding rows; vector ID = row number
 }
 
 // Authenticator is the trained §V-E classifier stack, conditioned on the
 // imaging-plane distance bin. In the single-user scenario only the SVDD
-// gate exists per bin; with n ≥ 2 users the gate is trained on all users'
-// data in the bin and an n-class SVM identifies which user.
+// gate exists per bin; with n ≥ 2 users identification shortlists
+// candidates from the embedding index (or scans the one-vs-one SVM in
+// exhaustive mode) and the gate verifies the winner.
 type Authenticator struct {
 	extractor *features.Extractor
 	featCfg   features.Config
+	cfg       AuthConfig
 	bins      map[int]*binModel
 	binWidth  float64
 	users     []int
+	scratch   sync.Pool // *authScratch, reused across authentications
+}
+
+// authScratch is the per-call working memory of authenticate: the
+// whitened feature vector and the float32 query embedding. Pooled so the
+// hot path allocates nothing for whitening or projection once warm.
+type authScratch struct {
+	white []float64
+	q     []float32
 }
 
 // TrainAuthenticator fits the classifier stack from enrollment images,
@@ -154,67 +240,117 @@ func TrainAuthenticatorContext(ctx context.Context, cfg AuthConfig, enrollment m
 	auth := &Authenticator{
 		extractor: ext,
 		featCfg:   cfg.Features,
+		cfg:       cfg,
 		bins:      make(map[int]*binModel, len(binSets)),
 		binWidth:  binWidth,
 		users:     users,
 	}
-	whitenK := cfg.WhitenDirections
 	for bin, bd := range binSets {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: train cancelled: %w", err)
 		}
-		bm := &binModel{users: distinctLabels(bd.labels)}
-		x := bd.x
-		if whitenK > 0 {
-			wh, err := FitWhitener(bd.x, bd.labels, whitenK)
-			if err != nil {
-				return nil, fmt.Errorf("core: fit whitener (bin %d): %w", bin, err)
-			}
-			bm.whiten = wh
-			x = make([][]float64, len(bd.x))
-			for i, v := range bd.x {
-				x[i] = wh.Apply(v)
-			}
-		}
-		gamma := cfg.Gamma
-		if gamma <= 0 {
-			gamma = calibrateGamma(x, bd.labels, cfg.GammaWithinFactor)
-		}
-		kernel := svm.RBF{Gamma: gamma}
-		gate, err := svm.TrainSVDD(kernel, x, cfg.SVDD)
+		bm, err := fitBinModel(cfg, bd.x, bd.labels)
 		if err != nil {
-			return nil, fmt.Errorf("core: train SVDD gate (bin %d): %w", bin, err)
-		}
-		bm.gate = gate
-		if !cfg.PooledGate {
-			bm.userGate = make(map[int]*svm.SVDD, len(bm.users))
-			for _, id := range bm.users {
-				var ux [][]float64
-				for i, l := range bd.labels {
-					if l == id {
-						ux = append(ux, x[i])
-					}
-				}
-				if len(ux) < 3 {
-					continue // too little data; the pooled gate covers it
-				}
-				ug, err := svm.TrainSVDD(kernel, ux, cfg.SVDD)
-				if err != nil {
-					return nil, fmt.Errorf("core: train user %d SVDD (bin %d): %w", id, bin, err)
-				}
-				bm.userGate[id] = ug
-			}
-		}
-		if len(bm.users) > 1 {
-			mc, err := svm.TrainMultiClass(kernel, x, bd.labels, cfg.SVC)
-			if err != nil {
-				return nil, fmt.Errorf("core: train identification SVM (bin %d): %w", bin, err)
-			}
-			bm.identify = mc
+			return nil, fmt.Errorf("core: bin %d: %w", bin, err)
 		}
 		auth.bins[bin] = bm
 	}
 	return auth, nil
+}
+
+// fitBinModel trains the full classifier stack of one plane-distance bin:
+// optional WCCN whitener, embedding set + ANN index (ANN mode), the SVDD
+// gates and, when the user count allows, the one-vs-one SVM. Shared by
+// the full train and by ExtendContext for bins a new user opens.
+func fitBinModel(cfg AuthConfig, x [][]float64, labels []int) (*binModel, error) {
+	bm := &binModel{users: distinctLabels(labels)}
+	if cfg.WhitenDirections > 0 {
+		wh, err := FitWhitener(x, labels, cfg.WhitenDirections)
+		if err != nil {
+			return nil, fmt.Errorf("fit whitener: %w", err)
+		}
+		bm.whiten = wh
+		wx := make([][]float64, len(x))
+		for i, v := range x {
+			wx[i] = wh.Apply(v)
+		}
+		x = wx
+	}
+	gamma := cfg.Gamma
+	if gamma <= 0 {
+		gamma = calibrateGamma(x, labels, cfg.GammaWithinFactor)
+	}
+	bm.gamma = gamma
+	kernel := svm.RBF{Gamma: gamma}
+	gate, err := svm.TrainSVDD(kernel, x, cfg.SVDD)
+	if err != nil {
+		return nil, fmt.Errorf("train SVDD gate: %w", err)
+	}
+	bm.gate = gate
+	if !cfg.PooledGate {
+		bm.userGate = make(map[int]*svm.SVDD, len(bm.users))
+		for _, id := range bm.users {
+			var ux [][]float64
+			for i, l := range labels {
+				if l == id {
+					ux = append(ux, x[i])
+				}
+			}
+			if len(ux) < 3 {
+				continue // too little data; the pooled gate covers it
+			}
+			ug, err := svm.TrainSVDD(kernel, ux, cfg.SVDD)
+			if err != nil {
+				return nil, fmt.Errorf("train user %d SVDD: %w", id, err)
+			}
+			bm.userGate[id] = ug
+		}
+	}
+	ann := cfg.Identify.mode() == IdentifyANN
+	if ann {
+		if err := bm.buildIndex(cfg.Identify.Index, x, labels); err != nil {
+			return nil, err
+		}
+	}
+	if len(bm.users) > 1 && (!ann || len(bm.users) <= cfg.Identify.maxSVMUsers()) {
+		mc, err := svm.TrainMultiClass(kernel, x, labels, cfg.SVC)
+		if err != nil {
+			return nil, fmt.Errorf("train identification SVM: %w", err)
+		}
+		bm.identify = mc
+	}
+	return bm, nil
+}
+
+// buildIndex projects the (whitened) training vectors into the embedding
+// space and indexes them. Row order follows the training order — users
+// ascending, then their images in enrollment order — so construction is
+// deterministic.
+func (bm *binModel) buildIndex(icfg index.Config, x [][]float64, labels []int) error {
+	if len(x) == 0 {
+		return fmt.Errorf("no vectors to index")
+	}
+	dim := len(x[0])
+	es, err := embed.NewSet(dim)
+	if err != nil {
+		return fmt.Errorf("embedding set: %w", err)
+	}
+	ann, err := index.New(dim, icfg)
+	if err != nil {
+		return fmt.Errorf("ANN index: %w", err)
+	}
+	var q []float32
+	for i, v := range x {
+		q = embed.Project(q, v)
+		if err := es.Append(labels[i], q); err != nil {
+			return fmt.Errorf("append embedding: %w", err)
+		}
+		if err := ann.Add(es.Len()-1, q); err != nil {
+			return fmt.Errorf("index embedding: %w", err)
+		}
+	}
+	bm.embeds, bm.ann = es, ann
+	return nil
 }
 
 // calibrateGamma sets the RBF width from the supervised within-class
@@ -281,6 +417,30 @@ func (a *Authenticator) Bins() []int {
 // want to cache features).
 func (a *Authenticator) Extractor() *features.Extractor { return a.extractor }
 
+// IdentifyMode reports the identification engine this model serves with:
+// IdentifyANN when the embedding index exists, IdentifyExhaustive
+// otherwise (exhaustive-mode trains and pre-embedding snapshots).
+func (a *Authenticator) IdentifyMode() IdentifyMode {
+	for _, bm := range a.bins {
+		if bm.ann != nil {
+			return IdentifyANN
+		}
+	}
+	return IdentifyExhaustive
+}
+
+// IndexSize returns the total number of enrollment embeddings indexed
+// across all plane bins (0 in exhaustive mode).
+func (a *Authenticator) IndexSize() int {
+	var n int
+	for _, bm := range a.bins {
+		if bm.ann != nil {
+			n += bm.ann.Len()
+		}
+	}
+	return n
+}
+
 // extractImage builds the feature vector for an acoustic image: the
 // full-band image's features, concatenated with each sub-band image's
 // features when frequency-diverse imaging is enabled.
@@ -296,22 +456,13 @@ func extractImage(ext *features.Extractor, img *AcousticImage) []float64 {
 	return out
 }
 
-// Authenticate runs the full decision procedure of Figure 10 on one
-// acoustic image: pick the plane bin's model, gate with SVDD, then identify
-// with the n-class SVM.
-func (a *Authenticator) Authenticate(img *AcousticImage) AuthResult {
-	return a.authenticate(img, nil)
-}
-
-// authenticate is the single-image decision with optional stage timing:
-// a non-nil recorder receives the feature-extraction (incl. whitening)
-// and gate+identification durations.
-func (a *Authenticator) authenticate(img *AcousticImage, rec StageRecorder) AuthResult {
+// binFor resolves the plane-distance bin model for an image, falling back
+// to the nearest adjacent bin: a user standing between enrolled distances
+// should not be rejected for geometry alone.
+func (a *Authenticator) binFor(img *AcousticImage) (*binModel, int) {
 	bin := int(math.Round(img.PlaneDistM / a.binWidth))
 	bm := a.bins[bin]
 	if bm == nil {
-		// Fall back to the nearest adjacent bin; a user standing between
-		// enrolled distances should not be rejected for geometry alone.
 		if m, ok := a.bins[bin-1]; ok {
 			bm = m
 			bin--
@@ -321,6 +472,64 @@ func (a *Authenticator) authenticate(img *AcousticImage, rec StageRecorder) Auth
 			bin++
 		}
 	}
+	return bm, bin
+}
+
+// Authenticate runs the full decision procedure of Figure 10 on one
+// acoustic image: pick the plane bin's model, shortlist + identify, then
+// verify with the SVDD gate.
+func (a *Authenticator) Authenticate(img *AcousticImage) AuthResult {
+	return a.authenticate(img, nil)
+}
+
+// Shortlist returns the distinct candidate user IDs among the k nearest
+// enrollment embeddings for one image (k ≤ 0 uses the configured
+// shortlist size), nearest first. It returns nil when the image's bin has
+// no ANN index (exhaustive mode or out-of-range distance). Exposed for
+// recall evaluation and for continuous-authentication callers that fuse
+// their own evidence over candidates.
+func (a *Authenticator) Shortlist(img *AcousticImage, k int) []int {
+	bm, _ := a.binFor(img)
+	if bm == nil || bm.ann == nil {
+		return nil
+	}
+	if k <= 0 {
+		k = a.cfg.Identify.shortlist()
+	}
+	sc := a.getScratch()
+	defer a.scratch.Put(sc)
+	x := extractImage(a.extractor, img)
+	if bm.whiten != nil {
+		sc.white = bm.whiten.ApplyTo(sc.white, x)
+		x = sc.white
+	}
+	sc.q = embed.Project(sc.q, x)
+	res := bm.ann.Search(sc.q, k)
+	seen := make(map[int]bool, len(res))
+	out := make([]int, 0, len(res))
+	for _, r := range res {
+		id := bm.embeds.ID(r.ID)
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (a *Authenticator) getScratch() *authScratch {
+	sc, _ := a.scratch.Get().(*authScratch)
+	if sc == nil {
+		sc = &authScratch{}
+	}
+	return sc
+}
+
+// authenticate is the single-image decision with optional stage timing:
+// a non-nil recorder receives the feature-extraction (incl. whitening),
+// index-search (ANN mode) and re-rank+gate durations.
+func (a *Authenticator) authenticate(img *AcousticImage, rec StageRecorder) AuthResult {
+	bm, bin := a.binFor(img)
 	if bm == nil {
 		return AuthResult{Accepted: false, GateScore: -1, Bin: bin}
 	}
@@ -328,9 +537,12 @@ func (a *Authenticator) authenticate(img *AcousticImage, rec StageRecorder) Auth
 	if rec != nil {
 		mark = time.Now()
 	}
+	sc := a.getScratch()
+	defer a.scratch.Put(sc)
 	x := extractImage(a.extractor, img)
 	if bm.whiten != nil {
-		x = bm.whiten.Apply(x)
+		sc.white = bm.whiten.ApplyTo(sc.white, x)
+		x = sc.white
 	}
 	if rec != nil {
 		now := time.Now()
@@ -341,8 +553,19 @@ func (a *Authenticator) authenticate(img *AcousticImage, rec StageRecorder) Auth
 	// sphere when per-user gates exist; otherwise (or when the user has
 	// too little bin data) the pooled sphere decides.
 	candidate := bm.users[0]
-	if bm.identify != nil {
-		candidate = bm.identify.Predict(x)
+	if len(bm.users) > 1 {
+		if bm.ann != nil {
+			sc.q = embed.Project(sc.q, x)
+			res := bm.ann.Search(sc.q, a.cfg.Identify.shortlist())
+			if rec != nil {
+				now := time.Now()
+				rec.RecordStage(StageIndexSearch, now.Sub(mark))
+				mark = now
+			}
+			candidate = bm.rerank(x, res)
+		} else if bm.identify != nil {
+			candidate = bm.identify.Predict(x)
+		}
 	}
 	gate := bm.gate
 	if ug, ok := bm.userGate[candidate]; ok {
@@ -359,6 +582,38 @@ func (a *Authenticator) authenticate(img *AcousticImage, rec StageRecorder) Auth
 	return AuthResult{Accepted: true, UserID: candidate, GateScore: score, Bin: bin}
 }
 
+// rerank picks the identified user from an ANN shortlist: the one-vs-one
+// SVM margin vote restricted to the candidate set when the re-ranker
+// exists, the accumulated cosine similarity per candidate otherwise.
+// Ties break toward the smaller user ID, keeping decisions deterministic.
+func (bm *binModel) rerank(x []float64, res []index.Result) int {
+	if len(res) == 0 {
+		return bm.users[0]
+	}
+	sim := make(map[int]float64, len(res))
+	order := make([]int, 0, len(res))
+	for _, r := range res {
+		id := bm.embeds.ID(r.ID)
+		if _, ok := sim[id]; !ok {
+			order = append(order, id)
+		}
+		sim[id] += 1 - float64(r.Dist)
+	}
+	if len(order) == 1 {
+		return order[0]
+	}
+	if bm.identify != nil {
+		return bm.identify.PredictAmong(x, order)
+	}
+	best := order[0]
+	for _, id := range order[1:] {
+		if sim[id] > sim[best] || (sim[id] == sim[best] && id < best) {
+			best = id
+		}
+	}
+	return best
+}
+
 // AuthenticateMajority fuses decisions across the images of one capture
 // (one image per beep): the sample is accepted when a strict majority of
 // images pass the gate, and the identified user is the modal identity among
@@ -368,8 +623,8 @@ func (a *Authenticator) AuthenticateMajority(imgs []*AcousticImage) (AuthResult,
 }
 
 // AuthenticateMajorityRecorded is AuthenticateMajority with stage
-// instrumentation: a non-nil recorder receives one features span and one
-// classify span per image.
+// instrumentation: a non-nil recorder receives one features span, one
+// index-search span (ANN mode) and one classify span per image.
 func (a *Authenticator) AuthenticateMajorityRecorded(imgs []*AcousticImage, rec StageRecorder) (AuthResult, error) {
 	if len(imgs) == 0 {
 		return AuthResult{}, fmt.Errorf("core: no images to authenticate")

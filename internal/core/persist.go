@@ -5,18 +5,27 @@ import (
 	"fmt"
 	"io"
 
+	"echoimage/internal/embed"
 	"echoimage/internal/features"
+	"echoimage/internal/index"
 	"echoimage/internal/svm"
 )
 
-// modelFormatVersion guards against loading models from incompatible
-// builds.
-const modelFormatVersion = 1
+// modelFormatVersion is the snapshot format this build writes. Version 2
+// added the identification embedding set + ANN index, the fitted kernel
+// width and the full AuthConfig per snapshot; version 1 snapshots (no
+// embedding space) still load, serving in exhaustive mode without
+// incremental-extension support.
+const modelFormatVersion = 2
 
 // authenticatorState is the on-disk form of a trained Authenticator.
+// Encoding is deterministic: encoding/json sorts map keys and binary
+// blobs are stable serializations, so Save produces byte-identical output
+// for the same model.
 type authenticatorState struct {
 	Version  int                  `json:"version"`
 	Features features.Config      `json:"features"`
+	Config   *AuthConfig          `json:"config,omitempty"` // v2+
 	BinWidth float64              `json:"bin_width_m"`
 	Users    []int                `json:"users"`
 	Bins     map[string]*binState `json:"bins"`
@@ -28,6 +37,9 @@ type binState struct {
 	UserGate map[string]*svm.SVDDState `json:"user_gates,omitempty"`
 	Identify *svm.MultiClassState      `json:"identify,omitempty"`
 	Whiten   *whitenerState            `json:"whiten,omitempty"`
+	Gamma    float64                   `json:"gamma,omitempty"`  // v2+
+	Embeds   []byte                    `json:"embeds,omitempty"` // v2+: embed.Set binary form
+	Index    []byte                    `json:"index,omitempty"`  // v2+: index.Index binary form
 }
 
 type whitenerState struct {
@@ -39,15 +51,17 @@ type whitenerState struct {
 // Save serializes the trained authenticator as JSON, so a daemon can
 // persist its model across restarts without re-enrolling users.
 func (a *Authenticator) Save(w io.Writer) error {
+	cfg := a.cfg
 	state := authenticatorState{
 		Version:  modelFormatVersion,
 		Features: a.featCfg,
+		Config:   &cfg,
 		BinWidth: a.binWidth,
 		Users:    a.Users(),
 		Bins:     make(map[string]*binState, len(a.bins)),
 	}
 	for bin, bm := range a.bins {
-		bs := &binState{Users: bm.users}
+		bs := &binState{Users: bm.users, Gamma: bm.gamma}
 		gate, err := bm.gate.Export()
 		if err != nil {
 			return fmt.Errorf("core: export gate (bin %d): %w", bin, err)
@@ -73,6 +87,16 @@ func (a *Authenticator) Save(w io.Writer) error {
 		if bm.whiten != nil {
 			bs.Whiten = exportWhitener(bm.whiten)
 		}
+		if bm.embeds != nil {
+			if bs.Embeds, err = bm.embeds.MarshalBinary(); err != nil {
+				return fmt.Errorf("core: export embeddings (bin %d): %w", bin, err)
+			}
+		}
+		if bm.ann != nil {
+			if bs.Index, err = bm.ann.MarshalBinary(); err != nil {
+				return fmt.Errorf("core: export index (bin %d): %w", bin, err)
+			}
+		}
 		state.Bins[fmt.Sprint(bin)] = bs
 	}
 	enc := json.NewEncoder(w)
@@ -82,22 +106,32 @@ func (a *Authenticator) Save(w io.Writer) error {
 	return nil
 }
 
-// LoadAuthenticator restores a model saved with Save.
+// LoadAuthenticator restores a model saved with Save. Version 1 snapshots
+// (pre-embedding) load into exhaustive identification mode.
 func LoadAuthenticator(r io.Reader) (*Authenticator, error) {
 	var state authenticatorState
 	if err := json.NewDecoder(r).Decode(&state); err != nil {
 		return nil, fmt.Errorf("core: decode model: %w", err)
 	}
-	if state.Version != modelFormatVersion {
-		return nil, fmt.Errorf("core: model format version %d, want %d", state.Version, modelFormatVersion)
+	if state.Version < 1 || state.Version > modelFormatVersion {
+		return nil, fmt.Errorf("core: model format version %d, want <= %d", state.Version, modelFormatVersion)
 	}
 	ext, err := features.NewExtractor(state.Features)
 	if err != nil {
 		return nil, fmt.Errorf("core: rebuild extractor: %w", err)
 	}
+	var cfg AuthConfig
+	if state.Config != nil {
+		cfg = *state.Config
+	} else {
+		// v1: no embedding space was persisted; the model can only serve
+		// the exhaustive path.
+		cfg = AuthConfig{Features: state.Features, Identify: IdentifyConfig{Mode: IdentifyExhaustive}}
+	}
 	auth := &Authenticator{
 		extractor: ext,
 		featCfg:   state.Features,
+		cfg:       cfg,
 		bins:      make(map[int]*binModel, len(state.Bins)),
 		binWidth:  state.BinWidth,
 		users:     state.Users,
@@ -107,7 +141,7 @@ func LoadAuthenticator(r io.Reader) (*Authenticator, error) {
 		if _, err := fmt.Sscanf(key, "%d", &bin); err != nil {
 			return nil, fmt.Errorf("core: bad bin key %q", key)
 		}
-		bm := &binModel{users: bs.Users}
+		bm := &binModel{users: bs.Users, gamma: bs.Gamma}
 		gate, err := svm.RestoreSVDD(bs.Gate)
 		if err != nil {
 			return nil, fmt.Errorf("core: restore gate (bin %d): %w", bin, err)
@@ -136,6 +170,24 @@ func LoadAuthenticator(r io.Reader) (*Authenticator, error) {
 		}
 		if bs.Whiten != nil {
 			bm.whiten = restoreWhitener(bs.Whiten)
+		}
+		if (bs.Embeds == nil) != (bs.Index == nil) {
+			return nil, fmt.Errorf("core: bin %d has embeddings or index without its counterpart", bin)
+		}
+		if bs.Embeds != nil {
+			es, err := embed.UnmarshalSet(bs.Embeds)
+			if err != nil {
+				return nil, fmt.Errorf("core: restore embeddings (bin %d): %w", bin, err)
+			}
+			ann, err := index.Unmarshal(bs.Index)
+			if err != nil {
+				return nil, fmt.Errorf("core: restore index (bin %d): %w", bin, err)
+			}
+			if ann.Len() != es.Len() || ann.Dim() != es.Dim() {
+				return nil, fmt.Errorf("core: bin %d index (%d×%d) does not match embeddings (%d×%d)",
+					bin, ann.Len(), ann.Dim(), es.Len(), es.Dim())
+			}
+			bm.embeds, bm.ann = es, ann
 		}
 		auth.bins[bin] = bm
 	}

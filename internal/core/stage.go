@@ -5,11 +5,12 @@ import "time"
 // Pipeline stage names reported to a StageRecorder, in execution order
 // through the full authentication pipeline.
 const (
-	StagePreprocess = "preprocess" // bandpass, analytic conversion, noise covariance
-	StageRanging    = "ranging"    // beamformed matched-filter distance estimate
-	StageImaging    = "imaging"    // MVDR acoustic image construction, all beeps
-	StageFeatures   = "features"   // frozen-CNN feature extraction (+ whitening)
-	StageClassify   = "classify"   // SVDD gate + n-class SVM identification
+	StagePreprocess  = "preprocess"   // bandpass, analytic conversion, noise covariance
+	StageRanging     = "ranging"      // beamformed matched-filter distance estimate
+	StageImaging     = "imaging"      // MVDR acoustic image construction, all beeps
+	StageFeatures    = "features"     // frozen-CNN feature extraction (+ whitening)
+	StageIndexSearch = "index_search" // embedding projection + ANN shortlist lookup
+	StageClassify    = "classify"     // candidate re-rank + SVDD gate decision
 )
 
 // StageRecorder receives the duration of each completed pipeline stage.

@@ -606,6 +606,9 @@ func (s *Server) ModelInfo() proto.ModelInfoResponse {
 		resp.TrainMillis = snap.Info.TrainDuration.Milliseconds()
 		resp.TrainedAt = snap.Info.TrainedAt.UTC().Format(time.RFC3339)
 		resp.Loaded = snap.Info.Loaded
+		resp.Extended = snap.Info.Extended
+		resp.IdentifyMode = snap.Info.IdentifyMode
+		resp.IndexSize = snap.Info.IndexSize
 	}
 	if err := s.reg.LastError(); err != nil {
 		resp.LastError = err.Error()

@@ -61,6 +61,7 @@ var stageNames = []string{
 	core.StageRanging,
 	core.StageImaging,
 	core.StageFeatures,
+	core.StageIndexSearch,
 	core.StageClassify,
 }
 

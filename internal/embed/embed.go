@@ -1,0 +1,170 @@
+// Package embed defines the shared identification embedding space: fixed-
+// dimension, L2-normalized float32 vectors projected from the frozen
+// feature extractor's (optionally WCCN-whitened) output. Embeddings are
+// the unit of sublinear identification — a user's enrollment images become
+// rows of a Set, an ANN index shortlists rows by cosine similarity, and
+// the SVDD gate decides on the shortlisted candidates.
+//
+// The package is part of the pure math tier: no I/O, no project
+// dependencies. Serialization is a stable binary form (little-endian,
+// versioned, bounds-checked) so a persisted Set re-serializes
+// byte-identically — the property the model snapshot round-trip test
+// pins down.
+package embed
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Project converts a float64 feature vector into an L2-normalized float32
+// embedding, writing into dst when it has capacity (dst may be nil). The
+// returned slice has len(x). A zero vector projects to zeros rather than
+// NaN, so degenerate inputs stay comparable.
+func Project(dst []float32, x []float64) []float32 {
+	if cap(dst) < len(x) {
+		dst = make([]float32, len(x))
+	}
+	dst = dst[:len(x)]
+	var sum float64
+	for _, v := range x {
+		sum += v * v
+	}
+	if sum <= 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	inv := 1 / math.Sqrt(sum)
+	for i, v := range x {
+		dst[i] = float32(v * inv)
+	}
+	return dst
+}
+
+// Dot returns the inner product of two equal-length vectors. For
+// L2-normalized embeddings this is the cosine similarity.
+func Dot(a, b []float32) float32 {
+	var s float32
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// CosineDist returns 1 − Dot(a, b): zero for identical unit vectors,
+// growing to 2 for opposed ones. It is the distance the ANN index ranks
+// by.
+func CosineDist(a, b []float32) float32 { return 1 - Dot(a, b) }
+
+// Set is an append-only collection of equal-dimension embeddings with an
+// integer ID per row (for identification, the registered user ID). Rows
+// are stored in one contiguous slice for cache locality and cheap
+// serialization. A Set is not safe for concurrent mutation; published
+// sets are immutable by convention (see Clone).
+type Set struct {
+	dim  int
+	ids  []int
+	data []float32 // row-major, len == len(ids)*dim
+}
+
+// NewSet builds an empty set of the given dimension.
+func NewSet(dim int) (*Set, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("embed: dimension %d must be positive", dim)
+	}
+	return &Set{dim: dim}, nil
+}
+
+// Dim returns the embedding dimension.
+func (s *Set) Dim() int { return s.dim }
+
+// Len returns the number of rows.
+func (s *Set) Len() int { return len(s.ids) }
+
+// Append adds one embedding with its ID. The vector is copied.
+func (s *Set) Append(id int, v []float32) error {
+	if len(v) != s.dim {
+		return fmt.Errorf("embed: vector of dim %d in a dim-%d set", len(v), s.dim)
+	}
+	s.ids = append(s.ids, id)
+	s.data = append(s.data, v...)
+	return nil
+}
+
+// ID returns the ID of row i.
+func (s *Set) ID(i int) int { return s.ids[i] }
+
+// At returns row i as a view into the set's storage; callers must not
+// mutate it.
+func (s *Set) At(i int) []float32 { return s.data[i*s.dim : (i+1)*s.dim] }
+
+// Clone returns a deep copy, so an extended model can append rows without
+// mutating the published snapshot it grew from.
+func (s *Set) Clone() *Set {
+	c := &Set{dim: s.dim}
+	c.ids = append(c.ids, s.ids...)
+	c.data = append(c.data, s.data...)
+	return c
+}
+
+// Binary form: magic, version, dim, count, IDs as int64, data as float32
+// bits — all little-endian, in field order, so equal sets serialize to
+// equal bytes.
+const (
+	setMagic   = "EIEM"
+	setVersion = 1
+)
+
+// MarshalBinary implements a deterministic stable serialization.
+func (s *Set) MarshalBinary() ([]byte, error) {
+	n := len(s.ids)
+	out := make([]byte, 0, 4+2+4+4+8*n+4*len(s.data))
+	out = append(out, setMagic...)
+	out = binary.LittleEndian.AppendUint16(out, setVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(s.dim))
+	out = binary.LittleEndian.AppendUint32(out, uint32(n))
+	for _, id := range s.ids {
+		out = binary.LittleEndian.AppendUint64(out, uint64(int64(id)))
+	}
+	for _, v := range s.data {
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(v))
+	}
+	return out, nil
+}
+
+// UnmarshalSet decodes a serialized Set, rejecting truncated or corrupt
+// input.
+func UnmarshalSet(b []byte) (*Set, error) {
+	if len(b) < 4+2+4+4 {
+		return nil, fmt.Errorf("embed: set blob of %d bytes too short", len(b))
+	}
+	if string(b[:4]) != setMagic {
+		return nil, fmt.Errorf("embed: bad set magic %q", b[:4])
+	}
+	if v := binary.LittleEndian.Uint16(b[4:]); v != setVersion {
+		return nil, fmt.Errorf("embed: set version %d, want %d", v, setVersion)
+	}
+	dim := int(binary.LittleEndian.Uint32(b[6:]))
+	n := int(binary.LittleEndian.Uint32(b[10:]))
+	if dim <= 0 || n < 0 {
+		return nil, fmt.Errorf("embed: invalid set header (dim %d, count %d)", dim, n)
+	}
+	want := 14 + 8*n + 4*n*dim
+	if len(b) != want {
+		return nil, fmt.Errorf("embed: set blob of %d bytes, want %d (dim %d, count %d)", len(b), want, dim, n)
+	}
+	s := &Set{dim: dim, ids: make([]int, n), data: make([]float32, n*dim)}
+	off := 14
+	for i := range s.ids {
+		s.ids[i] = int(int64(binary.LittleEndian.Uint64(b[off:])))
+		off += 8
+	}
+	for i := range s.data {
+		s.data[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+	}
+	return s, nil
+}

@@ -1,0 +1,152 @@
+package embed
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestProjectNormalizes(t *testing.T) {
+	x := []float64{3, 4, 0}
+	v := Project(nil, x)
+	if len(v) != 3 {
+		t.Fatalf("len %d", len(v))
+	}
+	var sum float64
+	for _, f := range v {
+		sum += float64(f) * float64(f)
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("norm² %v, want 1", sum)
+	}
+	if math.Abs(float64(v[0])-0.6) > 1e-6 || math.Abs(float64(v[1])-0.8) > 1e-6 {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestProjectZeroVector(t *testing.T) {
+	v := Project(nil, []float64{0, 0})
+	for _, f := range v {
+		if f != 0 {
+			t.Fatalf("zero input projected to %v", v)
+		}
+	}
+}
+
+func TestProjectReusesDst(t *testing.T) {
+	dst := make([]float32, 8)
+	v := Project(dst, []float64{1, 2, 3})
+	if &v[0] != &dst[0] {
+		t.Fatal("Project allocated despite sufficient dst capacity")
+	}
+	if len(v) != 3 {
+		t.Fatalf("len %d", len(v))
+	}
+}
+
+func TestDotCosine(t *testing.T) {
+	a := Project(nil, []float64{1, 0})
+	b := Project(nil, []float64{0, 1})
+	if d := Dot(a, a); math.Abs(float64(d)-1) > 1e-6 {
+		t.Fatalf("self dot %v", d)
+	}
+	if d := CosineDist(a, b); math.Abs(float64(d)-1) > 1e-6 {
+		t.Fatalf("orthogonal dist %v", d)
+	}
+}
+
+func TestSetAppendAt(t *testing.T) {
+	s, err := NewSet(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(7, []float32{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(9, []float32{5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(1, []float32{1, 2}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if s.Len() != 2 || s.Dim() != 4 {
+		t.Fatalf("len %d dim %d", s.Len(), s.Dim())
+	}
+	if s.ID(1) != 9 || s.At(1)[0] != 5 {
+		t.Fatalf("row 1: id %d at %v", s.ID(1), s.At(1))
+	}
+}
+
+func TestSetRoundTripByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s, _ := NewSet(16)
+	for i := 0; i < 50; i++ {
+		v := make([]float32, 16)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		if err := s.Append(i*3+1, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b1, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := UnmarshalSet(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := s2.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("re-serialization not byte-identical")
+	}
+	for i := 0; i < s.Len(); i++ {
+		if s2.ID(i) != s.ID(i) {
+			t.Fatalf("row %d id %d != %d", i, s2.ID(i), s.ID(i))
+		}
+		for j, v := range s.At(i) {
+			if s2.At(i)[j] != v {
+				t.Fatalf("row %d col %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestUnmarshalSetRejectsCorrupt(t *testing.T) {
+	s, _ := NewSet(3)
+	s.Append(1, []float32{1, 2, 3})
+	b, _ := s.MarshalBinary()
+	cases := [][]byte{
+		nil,
+		b[:5],
+		b[:len(b)-1],
+		append(append([]byte{}, b...), 0),
+	}
+	bad := append([]byte{}, b...)
+	bad[0] = 'X'
+	cases = append(cases, bad)
+	for i, c := range cases {
+		if _, err := UnmarshalSet(c); err == nil {
+			t.Fatalf("case %d: corrupt blob accepted", i)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s, _ := NewSet(2)
+	s.Append(1, []float32{1, 2})
+	c := s.Clone()
+	c.Append(2, []float32{3, 4})
+	if s.Len() != 1 {
+		t.Fatal("clone append mutated original")
+	}
+	c.At(0)[0] = 99
+	if s.At(0)[0] != 1 {
+		t.Fatal("clone shares storage with original")
+	}
+}

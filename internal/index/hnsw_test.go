@@ -1,0 +1,267 @@
+package index
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randomUnit returns a random L2-normalized vector.
+func randomUnit(rng *rand.Rand, dim int) []float32 {
+	v := make([]float32, dim)
+	var sum float64
+	for i := range v {
+		f := rng.NormFloat64()
+		v[i] = float32(f)
+		sum += f * f
+	}
+	inv := float32(1 / math.Sqrt(sum))
+	for i := range v {
+		v[i] *= inv
+	}
+	return v
+}
+
+func buildRandom(t testing.TB, n, dim int, seed int64) (*Index, [][]float32) {
+	t.Helper()
+	ix, err := New(dim, Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vecs := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		vecs[i] = randomUnit(rng, dim)
+		if err := ix.Add(i+1, vecs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ix, vecs
+}
+
+func TestSearchRecallAgainstScan(t *testing.T) {
+	const n, dim, k, queries = 2000, 32, 10, 100
+	ix, _ := buildRandom(t, n, dim, 7)
+	rng := rand.New(rand.NewSource(99))
+	hits, total := 0, 0
+	for q := 0; q < queries; q++ {
+		query := randomUnit(rng, dim)
+		approx := ix.Search(query, k)
+		exact := ix.ScanNearest(query, k)
+		if len(approx) != k || len(exact) != k {
+			t.Fatalf("got %d approx, %d exact results", len(approx), len(exact))
+		}
+		inExact := make(map[int]bool, k)
+		for _, r := range exact {
+			inExact[r.ID] = true
+		}
+		for _, r := range approx {
+			if inExact[r.ID] {
+				hits++
+			}
+			total++
+		}
+	}
+	recall := float64(hits) / float64(total)
+	t.Logf("recall@%d over %d queries: %.3f", k, queries, recall)
+	if recall < 0.95 {
+		t.Errorf("recall %.3f below 0.95", recall)
+	}
+}
+
+func TestDeterministicConstruction(t *testing.T) {
+	a, _ := buildRandom(t, 500, 16, 3)
+	b, _ := buildRandom(t, 500, 16, 3)
+	ba, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba, bb) {
+		t.Fatal("same insertion sequence built different graphs")
+	}
+}
+
+func TestIncrementalAddMatchesBatch(t *testing.T) {
+	// Adding in two phases must keep the graph searchable and the new
+	// vectors findable.
+	const dim = 16
+	ix, err := New(dim, Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var vecs [][]float32
+	for i := 0; i < 300; i++ {
+		v := randomUnit(rng, dim)
+		vecs = append(vecs, v)
+		if err := ix.Add(i, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ext := ix.Clone()
+	for i := 300; i < 600; i++ {
+		v := randomUnit(rng, dim)
+		vecs = append(vecs, v)
+		if err := ext.Add(i, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Len() != 300 || ext.Len() != 600 {
+		t.Fatalf("lens %d, %d", ix.Len(), ext.Len())
+	}
+	// Every vector, old or new, must find itself at distance ~0.
+	for i, v := range vecs {
+		res := ext.Search(v, 1)
+		if len(res) != 1 || res[0].ID != i {
+			t.Fatalf("vector %d: self-search returned %+v", i, res)
+		}
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	ix, vecs := buildRandom(t, 200, 8, 5)
+	before, err := ix.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ix.Clone()
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 100; i++ {
+		if err := c.Add(1000+i, randomUnit(rng, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := ix.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("extending a clone mutated the original")
+	}
+	if res := ix.Search(vecs[0], 1); len(res) != 1 || res[0].ID != 1 {
+		t.Fatalf("original search broken after clone extend: %+v", res)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	ix, vecs := buildRandom(t, 400, 12, 21)
+	b1, err := ix.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := Unmarshal(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := ix2.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("re-serialization not byte-identical")
+	}
+	// Identical top-k for a fixed query set.
+	rng := rand.New(rand.NewSource(33))
+	for q := 0; q < 20; q++ {
+		query := randomUnit(rng, 12)
+		r1 := ix.Search(query, 5)
+		r2 := ix2.Search(query, 5)
+		if len(r1) != len(r2) {
+			t.Fatalf("query %d: %d vs %d results", q, len(r1), len(r2))
+		}
+		for i := range r1 {
+			if r1[i] != r2[i] {
+				t.Fatalf("query %d result %d: %+v vs %+v", q, i, r1[i], r2[i])
+			}
+		}
+	}
+	// A loaded index must keep extending deterministically: the level
+	// counter survives the round trip.
+	ix3 := ix.Clone()
+	extra := randomUnit(rng, 12)
+	if err := ix2.Add(9999, extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix3.Add(9999, extra); err != nil {
+		t.Fatal(err)
+	}
+	b3a, _ := ix2.MarshalBinary()
+	b3b, _ := ix3.MarshalBinary()
+	if !bytes.Equal(b3a, b3b) {
+		t.Fatal("post-load Add diverged from in-memory Add")
+	}
+	_ = vecs
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	ix, _ := buildRandom(t, 50, 8, 2)
+	b, err := ix.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	for _, cut := range []int{3, 10, len(b) / 2, len(b) - 1} {
+		if _, err := Unmarshal(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := Unmarshal(append(append([]byte{}, b...), 1)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	bad := append([]byte{}, b...)
+	bad[1] = 'Z'
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestConcurrentSearch(t *testing.T) {
+	ix, vecs := buildRandom(t, 1000, 16, 9)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v := vecs[(g*200+i)%len(vecs)]
+				res := ix.Search(v, 3)
+				if len(res) == 0 {
+					t.Errorf("goroutine %d: empty result", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	ix, err := New(4, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := ix.Search([]float32{1, 0, 0, 0}, 3); res != nil {
+		t.Fatalf("empty index returned %+v", res)
+	}
+	if err := ix.Add(1, []float32{1, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Add(2, []float32{1, 0}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	res := ix.Search([]float32{1, 0, 0, 0}, 5)
+	if len(res) != 1 || res[0].ID != 1 {
+		t.Fatalf("singleton search: %+v", res)
+	}
+	if res := ix.Search([]float32{1, 0}, 1); res != nil {
+		t.Fatal("query dim mismatch returned results")
+	}
+}

@@ -184,6 +184,16 @@ type ModelInfoResponse struct {
 	// Loaded marks a model installed from disk rather than trained by
 	// this daemon process.
 	Loaded bool `json:"loaded,omitempty"`
+	// Extended marks a model produced by incremental extension (only the
+	// newly registered users were fit) rather than a full retrain.
+	Extended bool `json:"extended,omitempty"`
+	// IdentifyMode is the identification engine the model serves with:
+	// "ann" (embedding index shortlist) or "exhaustive" (full one-vs-one
+	// SVM scan).
+	IdentifyMode string `json:"identify_mode,omitempty"`
+	// IndexSize is the number of enrollment embeddings across the model's
+	// ANN indexes (0 in exhaustive mode).
+	IndexSize int `json:"index_size,omitempty"`
 	// LastError is the most recent background training failure, empty
 	// once a later train succeeds.
 	LastError string `json:"last_error,omitempty"`

@@ -48,6 +48,16 @@ type ModelInfo struct {
 	TrainedAt time.Time
 	// Loaded marks a model installed from disk rather than trained here.
 	Loaded bool
+	// Extended marks a model produced by incremental extension of the
+	// previous snapshot (only the new users were fit) rather than a full
+	// retrain.
+	Extended bool
+	// IdentifyMode is the identification engine the model serves with
+	// ("ann" or "exhaustive").
+	IdentifyMode string
+	// IndexSize is the number of enrollment embeddings across the model's
+	// ANN indexes (0 in exhaustive mode).
+	IndexSize int
 }
 
 // Snapshot pairs an immutable trained model with its metadata. Snapshots
@@ -67,9 +77,10 @@ type Stats struct {
 // Registry is the enrollment store plus versioned model registry.
 // Construct with New; methods are safe for concurrent use.
 type Registry struct {
-	cfg   core.AuthConfig
-	train TrainFunc
-	logf  func(string, ...any)
+	cfg    core.AuthConfig
+	train  TrainFunc
+	extend bool // incremental extension permitted (default trainer only)
+	logf   func(string, ...any)
 	// modelPath, when non-empty, receives an atomically renamed copy of
 	// every trained model (written by the worker, off the request path).
 	modelPath string
@@ -80,14 +91,20 @@ type Registry struct {
 	mu         sync.Mutex
 	enrollment map[int][]*core.AcousticImage
 	numImages  int
-	gen        int // bumped on every enrollment write
-	dirty      bool
-	trainGen   int // generation of the in-flight train's snapshot
-	cancel     context.CancelFunc
-	waiters    []waiter
-	lastErr    error
-	version    int
-	closed     bool
+	// trainedCounts records, per user, how many enrollment images the live
+	// model was fit from. Image slices are append-only, so an unchanged
+	// count means unchanged data; a snapshot whose only delta is brand-new
+	// users qualifies for incremental extension. Nil when the live model's
+	// training set is unknown (loaded from disk, or custom trainer).
+	trainedCounts map[int]int
+	gen           int // bumped on every enrollment write
+	dirty         bool
+	trainGen      int // generation of the in-flight train's snapshot
+	cancel        context.CancelFunc
+	waiters       []waiter
+	lastErr       error
+	version       int
+	closed        bool
 
 	wake chan struct{}
 	quit chan struct{}
@@ -104,6 +121,7 @@ type regMetrics struct {
 	trainsCoalesced *telemetry.Counter
 	trainsCancelled *telemetry.Counter
 	trainsFailed    *telemetry.Counter
+	trainsExtended  *telemetry.Counter
 	persistFailures *telemetry.Counter
 	trainSeconds    *telemetry.Histogram
 	modelVersion    *telemetry.Gauge
@@ -121,6 +139,8 @@ func newRegMetrics(tel *telemetry.Registry) regMetrics {
 			"In-flight training runs cancelled because their snapshot went stale."),
 		trainsFailed: tel.Counter("echoimage_registry_trains_failed_total",
 			"Training runs that ended in an error (stale-cancelled runs excluded)."),
+		trainsExtended: tel.Counter("echoimage_registry_trains_extended_total",
+			"Training runs satisfied by incremental model extension (only new users fit)."),
 		persistFailures: tel.Counter("echoimage_registry_persist_failures_total",
 			"Model persistence attempts that failed after a successful train (the in-memory model still serves)."),
 		trainSeconds: tel.Histogram("echoimage_registry_train_seconds",
@@ -149,6 +169,12 @@ type Options struct {
 	Train TrainFunc
 	// Logf receives worker diagnostics; nil silences them.
 	Logf func(string, ...any)
+	// DisableExtend forces every retrain to be a full train even when the
+	// enrollment delta (new users only) and the live model would allow
+	// incremental extension. Extension is also disabled automatically when
+	// Train is overridden: a custom trainer's models are not necessarily
+	// extensions of each other.
+	DisableExtend bool
 	// Telemetry receives the registry's runtime metrics; nil records
 	// into a private unexposed registry so update paths stay branch-free.
 	Telemetry *telemetry.Registry
@@ -158,6 +184,7 @@ type Options struct {
 // the worker and release the registry.
 func New(cfg core.AuthConfig, opts Options) *Registry {
 	train := opts.Train
+	extend := !opts.DisableExtend && train == nil
 	if train == nil {
 		train = core.TrainAuthenticatorContext
 	}
@@ -172,6 +199,7 @@ func New(cfg core.AuthConfig, opts Options) *Registry {
 	r := &Registry{
 		cfg:        cfg,
 		train:      train,
+		extend:     extend,
 		logf:       logf,
 		modelPath:  opts.ModelPath,
 		enrollment: make(map[int][]*core.AcousticImage),
@@ -335,6 +363,7 @@ func (r *Registry) worker() {
 				snap[id] = imgs // image slices are append-only; sharing is safe
 			}
 			users, images := len(snap), r.numImages
+			add := r.extendDeltaLocked(snap)
 			//echoimage:lint-ignore ctxdiscipline train contexts are rooted at the worker, not a request: cancellation comes from Close and stale-train preemption, never a caller deadline
 			ctx, cancel := context.WithCancel(context.Background())
 			r.trainGen = gen
@@ -343,7 +372,7 @@ func (r *Registry) worker() {
 
 			r.met.trainsStarted.Inc()
 			start := time.Now()
-			auth, err := r.train(ctx, r.cfg, snap)
+			auth, extended, err := r.fitSnapshot(ctx, snap, add)
 			elapsed := time.Since(start)
 			cancel()
 
@@ -373,16 +402,30 @@ func (r *Registry) worker() {
 				Images:        images,
 				TrainDuration: elapsed,
 				TrainedAt:     time.Now(),
+				Extended:      extended,
+				IdentifyMode:  string(auth.IdentifyMode()),
+				IndexSize:     auth.IndexSize(),
 			}
 			r.model.Store(&Snapshot{Auth: auth, Info: info})
+			r.trainedCounts = make(map[int]int, len(snap))
+			for id, imgs := range snap {
+				r.trainedCounts[id] = len(imgs)
+			}
+			if extended {
+				r.met.trainsExtended.Inc()
+			}
 			r.lastErr = nil
 			notify := r.takeWaitersLocked(gen)
 			r.mu.Unlock()
 			r.met.trainSeconds.ObserveDuration(elapsed)
 			r.met.modelVersion.Set(int64(info.Version))
 
-			r.logf("registry: published model v%d (%d users, %d images, trained in %v)",
-				info.Version, users, images, elapsed.Round(time.Millisecond))
+			how := "trained"
+			if extended {
+				how = "extended"
+			}
+			r.logf("registry: published model v%d (%d users, %d images, %s in %v)",
+				info.Version, users, images, how, elapsed.Round(time.Millisecond))
 			if r.modelPath != "" {
 				if perr := persist(r.modelPath, auth); perr != nil {
 					// The in-memory model serves fine, but a silent
@@ -402,6 +445,67 @@ func (r *Registry) worker() {
 			}
 		}
 	}
+}
+
+// extendDeltaLocked decides whether the next model can be built by
+// incremental extension: the live model must support it, its training set
+// must be known and unchanged for every already-registered user, and the
+// snapshot's only delta must be brand-new users. It returns those users'
+// images, or nil for a full retrain. The caller holds r.mu.
+func (r *Registry) extendDeltaLocked(snap map[int][]*core.AcousticImage) map[int][]*core.AcousticImage {
+	if !r.extend || r.trainedCounts == nil {
+		return nil
+	}
+	live := r.model.Load()
+	if live == nil || live.Auth == nil || !live.Auth.CanExtend() {
+		return nil
+	}
+	add := make(map[int][]*core.AcousticImage)
+	for id, imgs := range snap {
+		trained, ok := r.trainedCounts[id]
+		if !ok {
+			add[id] = imgs
+			continue
+		}
+		if trained != len(imgs) {
+			return nil // existing user gained images: full retrain
+		}
+	}
+	if len(add) == 0 || len(add) == len(snap) {
+		return nil // nothing new, or no prior users to extend from
+	}
+	for id := range r.trainedCounts {
+		if _, ok := snap[id]; !ok {
+			return nil // a trained user vanished from the store
+		}
+	}
+	return add
+}
+
+// fitSnapshot builds the next model: by incremental extension of the live
+// model when the delta allows it (falling back to a full train if the
+// extension fails for a model-shape reason), a full training run
+// otherwise. It reports whether the published model was extended.
+func (r *Registry) fitSnapshot(ctx context.Context, snap, add map[int][]*core.AcousticImage) (*core.Authenticator, bool, error) {
+	if add != nil {
+		existing := make(map[int][]*core.AcousticImage, len(snap)-len(add))
+		for id, imgs := range snap {
+			if _, ok := add[id]; !ok {
+				existing[id] = imgs
+			}
+		}
+		live := r.model.Load()
+		auth, err := live.Auth.ExtendContext(ctx, add, existing)
+		if err == nil {
+			return auth, true, nil
+		}
+		if ctx.Err() != nil {
+			return nil, false, err
+		}
+		r.logf("registry: incremental extension failed (%v); falling back to full retrain", err)
+	}
+	auth, err := r.train(ctx, r.cfg, snap)
+	return auth, false, err
 }
 
 // takeWaitersLocked removes and returns the waiters whose enrollment
@@ -472,8 +576,17 @@ func persist(path string, auth *core.Authenticator) error {
 func (r *Registry) Install(auth *core.Authenticator) {
 	r.mu.Lock()
 	r.version++
-	info := ModelInfo{Version: r.version, TrainedAt: time.Now(), Loaded: true}
+	info := ModelInfo{
+		Version:      r.version,
+		TrainedAt:    time.Now(),
+		Loaded:       true,
+		IdentifyMode: string(auth.IdentifyMode()),
+		IndexSize:    auth.IndexSize(),
+	}
 	r.model.Store(&Snapshot{Auth: auth, Info: info})
+	// The loaded model's training set is unknown: the next enrollment
+	// change forces a full retrain rather than an extension.
+	r.trainedCounts = nil
 	r.met.modelVersion.Set(int64(info.Version))
 	r.mu.Unlock()
 }

@@ -88,6 +88,144 @@ func (m *MultiClass) Scores(x []float64) (votes map[int]int, margin map[int]floa
 	return votes, margin
 }
 
+// PredictAmong restricts the one-vs-one vote to the given candidate
+// classes: only duels where both classes are candidates are evaluated, so
+// re-ranking an ANN shortlist of s candidates costs O(s²) decisions
+// instead of the full O(n²) scan. Candidates the ensemble does not know
+// are ignored; with one known candidate it is returned directly, and with
+// none PredictAmong falls back to the full Predict.
+func (m *MultiClass) PredictAmong(x []float64, classes []int) int {
+	in := make(map[int]bool, len(classes))
+	known := 0
+	var only int
+	for _, c := range classes {
+		if !in[c] && m.hasClass(c) {
+			known++
+			only = c
+		}
+		in[c] = true
+	}
+	if known == 0 {
+		return m.Predict(x)
+	}
+	if known == 1 {
+		return only
+	}
+	votes := make(map[int]int, known)
+	margin := make(map[int]float64, known)
+	for _, p := range m.pairs {
+		if !in[p.a] || !in[p.b] {
+			continue
+		}
+		d := p.model.Decision(x)
+		if d >= 0 {
+			votes[p.a]++
+			margin[p.a] += d
+		} else {
+			votes[p.b]++
+			margin[p.b] -= d
+		}
+	}
+	best, haveBest := 0, false
+	for _, c := range m.classes {
+		if !in[c] {
+			continue
+		}
+		if !haveBest || votes[c] > votes[best] || (votes[c] == votes[best] && margin[c] > margin[best]) {
+			best, haveBest = c, true
+		}
+	}
+	return best
+}
+
+func (m *MultiClass) hasClass(c int) bool {
+	i := sort.SearchInts(m.classes, c)
+	return i < len(m.classes) && m.classes[i] == c
+}
+
+// ExtendMultiClass grows a trained ensemble with new classes without
+// refitting any existing pair: for each added class it trains the pairs
+// against every existing class (and the other added classes) from the
+// provided per-class samples, and shares the old pair models, which are
+// immutable. Registering user n+1 therefore costs O(n) binary fits
+// instead of the O(n²) full rebuild. existing must provide samples for
+// every class already in m (the whitened enrollment embeddings the
+// caller retains); added maps each new class to its samples.
+func ExtendMultiClass(m *MultiClass, k Kernel, existing map[int][][]float64, added map[int][][]float64, cfg SVCConfig) (*MultiClass, error) {
+	if len(added) == 0 {
+		return m, nil
+	}
+	for _, c := range m.classes {
+		if len(existing[c]) == 0 {
+			return nil, fmt.Errorf("svm: extend is missing samples for existing class %d", c)
+		}
+	}
+	newClasses := make([]int, 0, len(added))
+	for c, xs := range added {
+		if m.hasClass(c) {
+			return nil, fmt.Errorf("svm: class %d already trained", c)
+		}
+		if len(xs) == 0 {
+			return nil, fmt.Errorf("svm: added class %d has no samples", c)
+		}
+		newClasses = append(newClasses, c)
+	}
+	sort.Ints(newClasses)
+
+	classes := make([]int, 0, len(m.classes)+len(newClasses))
+	classes = append(classes, m.classes...)
+	classes = append(classes, newClasses...)
+	sort.Ints(classes)
+	ext := &MultiClass{classes: classes}
+	ext.pairs = append(ext.pairs, m.pairs...)
+
+	samples := func(c int) [][]float64 {
+		if xs, ok := added[c]; ok {
+			return xs
+		}
+		return existing[c]
+	}
+	trainPair := func(a, b int) error {
+		var px [][]float64
+		var py []int
+		px = append(px, samples(a)...)
+		for range samples(a) {
+			py = append(py, 1)
+		}
+		px = append(px, samples(b)...)
+		for range samples(b) {
+			py = append(py, -1)
+		}
+		pm, err := TrainBinary(k, px, py, cfg)
+		if err != nil {
+			return fmt.Errorf("svm: extend pair (%d, %d): %w", a, b, err)
+		}
+		ext.pairs = append(ext.pairs, pairModel{a: a, b: b, model: pm})
+		return nil
+	}
+	for i, nc := range newClasses {
+		for _, oc := range m.classes {
+			a, b := oc, nc
+			if a > b {
+				a, b = b, a
+			}
+			if err := trainPair(a, b); err != nil {
+				return nil, err
+			}
+		}
+		for _, nc2 := range newClasses[i+1:] {
+			a, b := nc, nc2
+			if a > b {
+				a, b = b, a
+			}
+			if err := trainPair(a, b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ext, nil
+}
+
 // Predict returns the majority-vote class for x. Ties break toward the
 // class with the larger accumulated decision magnitude.
 func (m *MultiClass) Predict(x []float64) int {
