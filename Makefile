@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-ci bench-report telemetry-smoke fuzz-smoke lint ci
+.PHONY: build test vet race bench bench-ci bench-report telemetry-smoke cluster-smoke fuzz-smoke lint ci
 
 build:
 	$(GO) build ./...
@@ -29,15 +29,17 @@ bench:
 # CPU steal alone moves single samples past 10%). The gated run is
 # written to a scratch file so CI never mutates the committed trajectory.
 bench-ci:
-	$(GO) run ./cmd/bench-report -benchtime 1x -o /tmp/bench-ci.json -label ci -prev BENCH_7.json -gate
+	$(GO) run ./cmd/bench-report -benchtime 1x -o /tmp/bench-ci.json -label ci -prev BENCH_8.json -prev-run pr8 -gate
 
-# Append a labelled benchmark run to BENCH_7.json, diffing against the
+# Append a labelled benchmark run to BENCH_8.json, diffing against the
 # previous PR's trajectory (see EXPERIMENTS.md; BENCH_1.json holds the PR-1
 # optimization trajectory, BENCH_3.json the post-telemetry runs, BENCH_5.json
 # the raw-speed round-1 runs, BENCH_6.json the Cholesky + RFFT round,
-# BENCH_7.json the ANN-identification round with the scale benchmarks).
+# BENCH_7.json the ANN-identification round with the scale benchmarks,
+# BENCH_8.json the cluster round: its `pr8` run is the microbenchmark
+# baseline, the loadgen runs record the single-vs-4-shard comparison).
 bench-report:
-	$(GO) run ./cmd/bench-report -benchtime 1x -o BENCH_7.json -label local -append -prev BENCH_6.json
+	$(GO) run ./cmd/bench-report -benchtime 1x -o BENCH_8.json -label local -append -prev BENCH_7.json
 
 # Boot echoimaged with the admin listener, probe /healthz and /metrics,
 # and shut it down: proves the observability endpoints answer on a real
@@ -57,6 +59,39 @@ telemetry-smoke:
 		|| { echo "telemetry-smoke: /metrics missing daemon series" >&2; exit 1; }; \
 	kill $$pid; wait $$pid 2>/dev/null; \
 	echo "telemetry-smoke: ok"
+
+# Boot a two-shard cluster behind echoimage-router and drive it with an
+# open-loop loadgen burst: enroll, per-shard retrain, then Poisson
+# arrivals. Asserts zero non-retryable errors and a sane p99 (generous —
+# CI hardware is slow and shared; the regression gate proper runs via
+# bench-report against BENCH_8.json), and that the admin control surface
+# reports both shards active. Proves the routed path end to end on real
+# processes, not just under the in-package fakes.
+cluster-smoke:
+	$(GO) build -o /tmp/echoimaged-cs ./cmd/echoimaged
+	$(GO) build -o /tmp/echoimage-router-cs ./cmd/echoimage-router
+	$(GO) build -o /tmp/echoimage-loadgen-cs ./cmd/echoimage-loadgen
+	@/tmp/echoimaged-cs -listen 127.0.0.1:17475 -admin-addr 127.0.0.1:18475 -grid 24 & p1=$$!; \
+	/tmp/echoimaged-cs -listen 127.0.0.1:17476 -admin-addr 127.0.0.1:18476 -grid 24 & p2=$$!; \
+	/tmp/echoimage-router-cs -listen 127.0.0.1:17464 -admin-addr 127.0.0.1:18464 \
+		-shard s0=127.0.0.1:17475,127.0.0.1:18475 \
+		-shard s1=127.0.0.1:17476,127.0.0.1:18476 & p3=$$!; \
+	trap 'kill $$p1 $$p2 $$p3 2>/dev/null' EXIT; \
+	ok=0; \
+	for i in $$(seq 1 50); do \
+		if curl -fsS http://127.0.0.1:18464/healthz >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	[ $$ok -eq 1 ] || { echo "cluster-smoke: router /healthz never answered" >&2; exit 1; }; \
+	/tmp/echoimage-loadgen-cs -addr 127.0.0.1:17464 -enroll -users 2 -enroll-images 2 -beeps 4 \
+		-rate 3 -duration 5s -max-nonretryable 0 -max-p99 10s \
+		|| { echo "cluster-smoke: loadgen assertions failed" >&2; exit 1; }; \
+	curl -fsS http://127.0.0.1:18464/cluster/shards | grep '"state": "active"' >/dev/null \
+		|| { echo "cluster-smoke: shards not active on admin surface" >&2; exit 1; }; \
+	curl -fsS http://127.0.0.1:18464/metrics | grep '^echoimage_router_requests_total' >/dev/null \
+		|| { echo "cluster-smoke: /metrics missing router series" >&2; exit 1; }; \
+	kill $$p1 $$p2 $$p3; wait $$p1 $$p2 $$p3 2>/dev/null; \
+	echo "cluster-smoke: ok"
 
 # Short fuzz run over the protocol frame reader: proves Read never
 # panics on adversarial bytes and accepted frames round-trip. The corpus

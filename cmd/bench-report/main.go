@@ -7,11 +7,18 @@
 //	bench-report -bench 'BenchmarkFigure8|BenchmarkImagingPlan' -o BENCH_1.json -label post-plan
 //	bench-report -append -o BENCH_1.json -label retest
 //	bench-report -prev BENCH_5.json -gate -o BENCH_6.json
+//	bench-report -input /tmp/cluster.json -prev BENCH_8.json -prev-run cluster-4shard -gate
 //
 // With -append the existing file is loaded and the new run is added to its
 // run list; otherwise the file is overwritten with a single-run report.
 //
-// With -prev the new run is diffed against the last run of the given report:
+// With -input no benchmarks are run at all: the last run of the given
+// report (for example one recorded by echoimage-loadgen) is diffed and
+// gated against -prev directly. Since a recorded run cannot be re-run,
+// wall-clock regressions gate without the confirmation pass.
+//
+// With -prev the new run is diffed against a run of the given report —
+// the last one, or the one named by -prev-run:
 // per-benchmark ns/op and allocs/op deltas are printed, and regressions
 // beyond 10% are flagged. With -gate such regressions also make the command
 // exit non-zero, which is how `make bench-ci` turns performance losses into
@@ -25,8 +32,6 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,33 +41,17 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"echoimage/internal/benchfmt"
 )
 
-// Report is the top-level BENCH_*.json document.
-type Report struct {
-	Schema string `json:"schema"`
-	Runs   []Run  `json:"runs"`
-}
-
-// Run is one invocation of the benchmark suite.
-type Run struct {
-	Label      string      `json:"label"`
-	Date       string      `json:"date"`
-	Go         string      `json:"go"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
-
-// Benchmark is one parsed result line from `go test -bench`.
-type Benchmark struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
-}
-
-const schemaID = "echoimage-bench/v1"
+// The report types live in internal/benchfmt, shared with
+// echoimage-loadgen so load experiments gate through the same diff.
+type (
+	Report    = benchfmt.Report
+	Run       = benchfmt.Run
+	Benchmark = benchfmt.Benchmark
+)
 
 func main() {
 	if err := run(); err != nil {
@@ -79,7 +68,9 @@ func run() error {
 	out := flag.String("o", "BENCH_1.json", "output JSON file")
 	label := flag.String("label", "", "label recorded for this run (default: current date)")
 	appendRun := flag.Bool("append", false, "append to an existing report instead of overwriting")
+	input := flag.String("input", "", "gate a recorded report's last run instead of running benchmarks (e.g. an echoimage-loadgen output)")
 	prev := flag.String("prev", "", "previous BENCH_*.json to diff the new run against")
+	prevRun := flag.String("prev-run", "", "label of the -prev run to diff against (default: its last run)")
 	gate := flag.Bool("gate", false, "exit non-zero when -prev shows a >10% regression")
 	flag.Parse()
 
@@ -88,54 +79,58 @@ func run() error {
 		name = time.Now().UTC().Format("2006-01-02")
 	}
 
-	raw, err := runBenchmarks(*pkg, *bench, *benchtime, *count)
-	if err != nil {
-		return err
-	}
-	benches, cpu := parseBenchOutput(raw)
-	if len(benches) == 0 {
-		return fmt.Errorf("no benchmark result lines matched %q", *bench)
-	}
-
-	rep := Report{Schema: schemaID}
-	if *appendRun {
-		if prev, err := os.ReadFile(*out); err == nil {
-			if err := json.Unmarshal(prev, &rep); err != nil {
-				return fmt.Errorf("parse existing %s: %w", *out, err)
-			}
-			if rep.Schema != schemaID {
-				return fmt.Errorf("%s has schema %q, want %q", *out, rep.Schema, schemaID)
-			}
-		} else if !os.IsNotExist(err) {
-			return err
-		}
-		rep.Schema = schemaID
-	}
-	rep.Runs = append(rep.Runs, Run{
-		Label:      name,
-		Date:       time.Now().UTC().Format(time.RFC3339),
-		Go:         runtime.Version(),
-		CPU:        cpu,
-		Benchmarks: benches,
-	})
-
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		return err
-	}
-	if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s: run %q with %d benchmarks\n", *out, name, len(benches))
-
-	if *prev != "" {
-		allocRegressed, nsRegressed, baseline, err := diffAgainst(*prev, benches)
+	var benches []Benchmark
+	if *input != "" {
+		rep, err := benchfmt.Read(*input)
 		if err != nil {
 			return err
 		}
-		if *gate && len(nsRegressed) > 0 {
+		run, ok := rep.Run("")
+		if !ok {
+			return fmt.Errorf("%s has no runs", *input)
+		}
+		benches = run.Benchmarks
+		fmt.Printf("gating recorded run %q from %s (%d benchmarks)\n", run.Label, *input, len(benches))
+	} else {
+		raw, err := runBenchmarks(*pkg, *bench, *benchtime, *count)
+		if err != nil {
+			return err
+		}
+		var cpu string
+		benches, cpu = parseBenchOutput(raw)
+		if len(benches) == 0 {
+			return fmt.Errorf("no benchmark result lines matched %q", *bench)
+		}
+
+		rep := Report{}
+		if *appendRun {
+			if loaded, err := benchfmt.Read(*out); err == nil {
+				rep = *loaded
+			} else if !os.IsNotExist(err) {
+				return err
+			}
+		}
+		rep.Runs = append(rep.Runs, Run{
+			Label:      name,
+			Date:       time.Now().UTC().Format(time.RFC3339),
+			Go:         runtime.Version(),
+			CPU:        cpu,
+			Benchmarks: benches,
+		})
+		if err := rep.Write(*out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: run %q with %d benchmarks\n", *out, name, len(benches))
+	}
+
+	if *prev != "" {
+		allocRegressed, nsRegressed, baseline, err := diffAgainst(*prev, *prevRun, benches)
+		if err != nil {
+			return err
+		}
+		// A recorded run cannot be re-run for confirmation; its
+		// regressions gate directly.
+		if *gate && len(nsRegressed) > 0 && *input == "" {
 			first := make(map[string]float64, len(benches))
 			for _, b := range benches {
 				first[b.Name] = b.NsPerOp
@@ -213,26 +208,20 @@ const regressThreshold = 0.10
 const gateNsFloor = 50e6
 
 // diffAgainst compares the new benchmarks against the last run of the
-// report at path, printing per-benchmark deltas. It returns the count of
+// report at path (the last run, or the one labeled runLabel), printing
+// per-benchmark deltas. It returns the count of
 // allocs/op regressions (gated immediately), the names of the ns/op
 // regressions (gated only after confirmNsRegressions reproduces them), and
 // the baseline map for that confirmation pass.
-func diffAgainst(path string, benches []Benchmark) (int, []string, map[string]Benchmark, error) {
-	raw, err := os.ReadFile(path)
+func diffAgainst(path, runLabel string, benches []Benchmark) (int, []string, map[string]Benchmark, error) {
+	prevRep, err := benchfmt.Read(path)
 	if err != nil {
 		return 0, nil, nil, fmt.Errorf("read previous report: %w", err)
 	}
-	var prevRep Report
-	if err := json.Unmarshal(raw, &prevRep); err != nil {
-		return 0, nil, nil, fmt.Errorf("parse %s: %w", path, err)
+	base, ok := prevRep.Run(runLabel)
+	if !ok {
+		return 0, nil, nil, fmt.Errorf("%s has no run labeled %q", path, runLabel)
 	}
-	if prevRep.Schema != schemaID {
-		return 0, nil, nil, fmt.Errorf("%s has schema %q, want %q", path, prevRep.Schema, schemaID)
-	}
-	if len(prevRep.Runs) == 0 {
-		return 0, nil, nil, fmt.Errorf("%s has no runs", path)
-	}
-	base := prevRep.Runs[len(prevRep.Runs)-1]
 	baseline := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		baseline[b.Name] = b

@@ -18,16 +18,17 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
-	"math/rand"
 	"net"
 	"os"
 	"time"
 
 	"echoimage"
 	"echoimage/internal/proto"
+	"echoimage/internal/retry"
 )
 
 func main() {
@@ -60,17 +61,6 @@ func retryable(err error) bool {
 	return errors.As(err, &de) && proto.RetryableCode(de.code)
 }
 
-// backoffDelay is the sleep before retry attempt n (1-based):
-// exponential from base, capped, plus up to 50% random jitter so
-// simultaneously shed clients don't stampede back in lockstep.
-func backoffDelay(n int, base, cap time.Duration) time.Duration {
-	d := base << (n - 1)
-	if d > cap || d <= 0 {
-		d = cap
-	}
-	return d + time.Duration(rand.Int63n(int64(d)/2+1))
-}
-
 // client wraps the framed connection with per-round-trip deadlines and
 // v2 request correlation.
 type client struct {
@@ -78,7 +68,11 @@ type client struct {
 	pc      *proto.Conn
 	timeout time.Duration
 	verbose bool
-	seq     int
+	// user, when non-zero, stamps each request envelope's routing hint
+	// so echoimage-router can pick the owning shard without decoding the
+	// capture body. A directly-addressed daemon ignores it.
+	user int
+	seq  int
 }
 
 // call performs one request/response round trip under the deadline and
@@ -91,6 +85,7 @@ func (c *client) call(msgType proto.MsgType, body any, want proto.MsgType, into 
 	if err != nil {
 		return err
 	}
+	env.User = c.user
 	if c.timeout > 0 {
 		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
 			return err
@@ -152,35 +147,31 @@ func run() error {
 
 	// Each attempt gets a fresh connection: after a refusal the old one
 	// may be mid-shutdown, and redialing also reaches a restarted daemon.
-	withClient := func(op func(c *client) error) error {
+	// routeUser (0 for model-wide commands) becomes the envelope routing
+	// hint for every attempt.
+	policy := retry.Policy{Attempts: *retries, Base: *retryBase, Cap: 5 * time.Second}
+	withClient := func(routeUser int, op func(c *client) error) error {
 		dialTO := *timeout
 		if dialTO <= 0 {
 			dialTO = time.Minute
 		}
-		var err error
-		for attempt := 0; ; attempt++ {
-			err = func() error {
-				conn, derr := net.DialTimeout("tcp", *addr, dialTO)
-				if derr != nil {
-					return fmt.Errorf("dial %s: %w", *addr, derr)
-				}
-				defer conn.Close()
-				return op(&client{conn: conn, pc: proto.NewConn(conn), timeout: *timeout, verbose: *verbose})
-			}()
-			if err == nil || attempt >= *retries || !retryable(err) {
-				return err
+		return retry.Do(context.Background(), policy, retryable, func() error {
+			conn, derr := net.DialTimeout("tcp", *addr, dialTO)
+			if derr != nil {
+				return fmt.Errorf("dial %s: %w", *addr, derr)
 			}
-			delay := backoffDelay(attempt+1, *retryBase, 5*time.Second)
+			defer conn.Close()
+			return op(&client{conn: conn, pc: proto.NewConn(conn), timeout: *timeout, verbose: *verbose, user: routeUser})
+		}, func(n int, err error, delay time.Duration) {
 			fmt.Fprintf(os.Stderr, "echoimage-client: %v; retry %d/%d in %v\n",
-				err, attempt+1, *retries, delay.Round(time.Millisecond))
-			time.Sleep(delay)
-		}
+				err, n, *retries, delay.Round(time.Millisecond))
+		})
 	}
 
 	switch cmd {
 	case "status":
 		var resp proto.StatusResponse
-		if err := withClient(func(c *client) error {
+		if err := withClient(0, func(c *client) error {
 			return c.call(proto.TypeStatusRequest, nil, proto.TypeStatusResponse, &resp)
 		}); err != nil {
 			return err
@@ -190,7 +181,7 @@ func run() error {
 		return nil
 	case "info":
 		var resp proto.ModelInfoResponse
-		if err := withClient(func(c *client) error {
+		if err := withClient(0, func(c *client) error {
 			return c.call(proto.TypeModelInfoRequest, nil, proto.TypeModelInfoResponse, &resp)
 		}); err != nil {
 			return err
@@ -216,8 +207,19 @@ func run() error {
 		}
 		return nil
 	case "retrain":
+		// An explicit -user routes the retrain to the owning shard when
+		// the address is an echoimage-router: the other shards hold no
+		// enrollments for that user and a fanned-out retrain would fail
+		// on every empty one. Without -user the retrain fans out
+		// cluster-wide (and a plain daemon ignores the hint either way).
+		hint := 0
+		sub.Visit(func(f *flag.Flag) {
+			if f.Name == "user" {
+				hint = *user
+			}
+		})
 		var resp proto.RetrainResponse
-		if err := withClient(func(c *client) error {
+		if err := withClient(hint, func(c *client) error {
 			return c.call(proto.TypeRetrainRequest, proto.RetrainRequest{Wait: *wait}, proto.TypeRetrainResponse, &resp)
 		}); err != nil {
 			return err
@@ -242,7 +244,7 @@ func run() error {
 		wire := proto.CaptureWire{Beeps: cap.Beeps, SampleRate: cap.SampleRate, NoiseOnly: noiseOnly, Reference: cap.Reference}
 		if cmd == "enroll" {
 			var resp proto.EnrollResponse
-			if err := withClient(func(c *client) error {
+			if err := withClient(*user, func(c *client) error {
 				return c.call(proto.TypeEnrollRequest, proto.EnrollRequest{
 					UserID: *user, Capture: wire, Retrain: *retrain,
 				}, proto.TypeEnrollResponse, &resp)
@@ -260,7 +262,7 @@ func run() error {
 			return nil
 		}
 		var resp proto.AuthResponse
-		if err := withClient(func(c *client) error {
+		if err := withClient(*user, func(c *client) error {
 			return c.call(proto.TypeAuthRequest, proto.AuthRequest{Capture: wire}, proto.TypeAuthResponse, &resp)
 		}); err != nil {
 			return err

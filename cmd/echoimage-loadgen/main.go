@@ -1,0 +1,413 @@
+// Command echoimage-loadgen drives an EchoImage serving tier — a single
+// echoimaged or an echoimage-router cluster — with an open-loop
+// authentication workload: arrivals follow a Poisson process at a fixed
+// rate, independent of response times, so a saturated server faces
+// mounting concurrency exactly as it would from a real client
+// population rather than a lockstep closed loop that politely waits.
+// Simulated clients replay pre-rendered captures of roster subjects
+// (the acoustic simulation runs once per user at startup, not per
+// request), each request carrying the user routing hint the router
+// shards by.
+//
+// Results — p50/p99/p999 latency, completed throughput, shed rate and
+// per-code error counts — are written in the BENCH_*.json schema shared
+// with cmd/bench-report, so a load run gates in CI through the same
+// diff tool as the microbenchmarks:
+//
+//	echoimage-loadgen -addr 127.0.0.1:7464 -enroll -users 4 -rate 50 -duration 10s -o /tmp/cluster.json -label cluster-4shard
+//	bench-report -input /tmp/cluster.json -prev BENCH_8.json -prev-run cluster-4shard -gate
+//
+// With -max-p99 and -max-nonretryable the command itself asserts
+// service-level outcomes and exits non-zero on violation, which is what
+// `make cluster-smoke` relies on.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"echoimage"
+	"echoimage/internal/benchfmt"
+	"echoimage/internal/proto"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "echoimage-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:7464", "router or daemon address")
+	users := flag.Int("users", 4, "distinct roster subjects to replay (1-20)")
+	rate := flag.Float64("rate", 20, "mean arrival rate, requests/second (Poisson)")
+	duration := flag.Duration("duration", 10*time.Second, "how long to generate arrivals")
+	beeps := flag.Int("beeps", 4, "probe chirps per capture (fewer = cheaper request)")
+	distance := flag.Float64("distance", 0.7, "user-array distance, meters")
+	timeout := flag.Duration("timeout", 15*time.Second, "per-request deadline")
+	maxInflight := flag.Int("max-inflight", 1024, "open-loop concurrency cap; arrivals beyond it are counted as local overflow, not sent")
+	seed := flag.Int64("seed", 1, "arrival-process and capture-noise seed")
+	enroll := flag.Bool("enroll", false, "enroll every user and retrain synchronously before generating load")
+	enrollImages := flag.Int("enroll-images", 2, "captures enrolled per user with -enroll")
+	out := flag.String("o", "", "write results as a BENCH-schema JSON report to this file")
+	label := flag.String("label", "loadgen", "run label recorded in the report")
+	appendRun := flag.Bool("append", false, "append the run to an existing report instead of overwriting")
+	maxP99 := flag.Duration("max-p99", 0, "exit non-zero when auth p99 exceeds this (0 = no assertion)")
+	maxNonRetryable := flag.Int("max-nonretryable", -1, "exit non-zero when non-retryable errors exceed this (-1 = no assertion)")
+	flag.Parse()
+	if *users < 1 || *users > len(echoimage.Roster()) {
+		return fmt.Errorf("-users %d outside roster 1-%d", *users, len(echoimage.Roster()))
+	}
+	if *rate <= 0 {
+		return fmt.Errorf("-rate must be positive")
+	}
+
+	// Render each user's capture once; the load loop replays the
+	// pre-marshaled body with only the envelope varying.
+	fmt.Fprintf(os.Stderr, "rendering %d captures (%d beeps each)...\n", *users, *beeps)
+	authBodies := make([][]byte, *users+1)
+	wires := make([]proto.CaptureWire, *users+1)
+	for u := 1; u <= *users; u++ {
+		cap, noiseOnly, err := echoimage.Simulate(echoimage.SimulateSpec{
+			UserID: u, DistanceM: *distance, Beeps: *beeps, Session: 1, Seed: *seed,
+		})
+		if err != nil {
+			return fmt.Errorf("simulate user %d: %w", u, err)
+		}
+		wires[u] = proto.CaptureWire{Beeps: cap.Beeps, SampleRate: cap.SampleRate, NoiseOnly: noiseOnly, Reference: cap.Reference}
+		raw, err := json.Marshal(proto.AuthRequest{Capture: wires[u]})
+		if err != nil {
+			return err
+		}
+		authBodies[u] = raw
+	}
+
+	pool := &connPool{addr: *addr, timeout: *timeout}
+	defer pool.closeAll()
+
+	if *enroll {
+		if err := enrollAll(pool, *users, *enrollImages, *distance, *beeps, *seed); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "open-loop: %.0f req/s for %v against %s (%d users)\n", *rate, *duration, *addr, *users)
+	var (
+		mu        sync.Mutex
+		latencies []int64
+		codes     = map[string]int64{}
+		transport int64
+		accepted  int64
+		rejected  int64
+	)
+	var inflight atomic.Int64
+	var overflow int64
+	var wg sync.WaitGroup
+	rng := rand.New(rand.NewSource(*seed))
+	start := time.Now()
+	next := start
+	var reqSeq atomic.Int64
+	for time.Since(start) < *duration {
+		// Exponential inter-arrival times make the arrival process
+		// Poisson; the schedule never waits for responses.
+		next = next.Add(time.Duration(rng.ExpFloat64() / *rate * float64(time.Second)))
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		if inflight.Load() >= int64(*maxInflight) {
+			overflow++
+			continue
+		}
+		user := 1 + rng.Intn(*users)
+		inflight.Add(1)
+		wg.Add(1)
+		go func(user int) {
+			defer wg.Done()
+			defer inflight.Add(-1)
+			t0 := time.Now()
+			resp, err := pool.roundTrip(proto.TypeAuthRequest, user,
+				fmt.Sprintf("lg-%d-%d", os.Getpid(), reqSeq.Add(1)), authBodies[user])
+			elapsed := time.Since(t0).Nanoseconds()
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err != nil:
+				transport++
+			case resp.Type == proto.TypeError:
+				var e proto.ErrorResponse
+				code := "undecodable"
+				if derr := proto.DecodeBody(resp, &e); derr == nil && e.Code != "" {
+					code = e.Code
+				}
+				codes[code]++
+			default:
+				latencies = append(latencies, elapsed)
+				var a proto.AuthResponse
+				if derr := proto.DecodeBody(resp, &a); derr == nil && a.Accepted {
+					accepted++
+				} else {
+					rejected++
+				}
+			}
+		}(user)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Tally.
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	completed := int64(len(latencies))
+	var shed, retryableErrs, nonRetryable int64
+	for code, n := range codes {
+		if code == proto.CodeOverloaded {
+			shed += n
+		}
+		if proto.RetryableCode(code) {
+			retryableErrs += n
+		} else {
+			nonRetryable += n
+		}
+	}
+	// Transport failures count as retryable for the assertion: the
+	// daemon contract says a dropped connection is retry-worthy.
+	throughput := float64(completed) / elapsed.Seconds()
+	fmt.Printf("completed %d in %v (%.1f/s), accepted %d, rejected %d\n", completed, elapsed.Round(time.Millisecond), throughput, accepted, rejected)
+	fmt.Printf("latency p50 %v  p99 %v  p999 %v\n",
+		time.Duration(percentile(latencies, 0.50)),
+		time.Duration(percentile(latencies, 0.99)),
+		time.Duration(percentile(latencies, 0.999)))
+	fmt.Printf("errors: shed %d, retryable %d, non-retryable %d, transport %d, local overflow %d\n",
+		shed, retryableErrs, nonRetryable, transport, overflow)
+	for code, n := range codes {
+		fmt.Printf("  code %-14s %d\n", code, n)
+	}
+
+	if *out != "" {
+		benches := []benchfmt.Benchmark{
+			{Name: "LoadgenAuthP50", Iterations: completed, NsPerOp: float64(percentile(latencies, 0.50))},
+			{Name: "LoadgenAuthP99", Iterations: completed, NsPerOp: float64(percentile(latencies, 0.99))},
+			{Name: "LoadgenAuthP999", Iterations: completed, NsPerOp: float64(percentile(latencies, 0.999))},
+		}
+		if throughput > 0 {
+			// NsPerOp is wall-clock per completed op, so "lower is
+			// better" holds for the shared regression gate.
+			benches = append(benches, benchfmt.Benchmark{
+				Name: "LoadgenAuthThroughput", Iterations: completed, NsPerOp: 1e9 / throughput,
+			})
+		}
+		benches = append(benches,
+			benchfmt.Benchmark{Name: "LoadgenShed", Iterations: shed},
+			benchfmt.Benchmark{Name: "LoadgenNonRetryableErrors", Iterations: nonRetryable},
+			benchfmt.Benchmark{Name: "LoadgenTransportErrors", Iterations: transport},
+			benchfmt.Benchmark{Name: "LoadgenLocalOverflow", Iterations: overflow},
+		)
+		for code, n := range codes {
+			benches = append(benches, benchfmt.Benchmark{Name: "LoadgenErrors_" + code, Iterations: n})
+		}
+		rep := benchfmt.Report{}
+		if *appendRun {
+			if loaded, err := benchfmt.Read(*out); err == nil {
+				rep = *loaded
+			} else if !os.IsNotExist(err) {
+				return err
+			}
+		}
+		rep.Runs = append(rep.Runs, benchfmt.Run{
+			Label:      *label,
+			Date:       time.Now().UTC().Format(time.RFC3339),
+			Go:         runtime.Version(),
+			Benchmarks: benches,
+		})
+		if err := rep.Write(*out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: run %q\n", *out, *label)
+	}
+
+	if *maxNonRetryable >= 0 && nonRetryable > int64(*maxNonRetryable) {
+		return fmt.Errorf("%d non-retryable errors (max %d)", nonRetryable, *maxNonRetryable)
+	}
+	if *maxP99 > 0 && completed > 0 && time.Duration(percentile(latencies, 0.99)) > *maxP99 {
+		return fmt.Errorf("auth p99 %v exceeds %v", time.Duration(percentile(latencies, 0.99)), *maxP99)
+	}
+	if completed == 0 {
+		return fmt.Errorf("no requests completed")
+	}
+	return nil
+}
+
+// enrollAll enrolls every replayed user (sessions 1..images) and then
+// retrains synchronously, so the load phase authenticates against a
+// trained model. The retrain is issued once per user WITH the routing
+// hint, not as an unhinted fan-out: through a router, a fan-out retrain
+// would also reach shards that own none of the enrolled users, and a
+// daemon with empty enrollment pools correctly refuses to train.
+func enrollAll(pool *connPool, users, images int, distance float64, beeps int, seed int64) error {
+	fmt.Fprintf(os.Stderr, "enrolling %d users x %d captures...\n", users, images)
+	seq := 0
+	for u := 1; u <= users; u++ {
+		for s := 1; s <= images; s++ {
+			cap, noiseOnly, err := echoimage.Simulate(echoimage.SimulateSpec{
+				UserID: u, DistanceM: distance, Beeps: beeps, Session: s, Seed: seed + int64(s),
+			})
+			if err != nil {
+				return fmt.Errorf("simulate enroll user %d session %d: %w", u, s, err)
+			}
+			body, err := json.Marshal(proto.EnrollRequest{
+				UserID: u,
+				Capture: proto.CaptureWire{
+					Beeps: cap.Beeps, SampleRate: cap.SampleRate,
+					NoiseOnly: noiseOnly, Reference: cap.Reference,
+				},
+			})
+			if err != nil {
+				return err
+			}
+			seq++
+			resp, err := pool.roundTrip(proto.TypeEnrollRequest, u, fmt.Sprintf("lg-enroll-%d", seq), body)
+			if err != nil {
+				return fmt.Errorf("enroll user %d: %w", u, err)
+			}
+			if resp.Type == proto.TypeError {
+				return fmt.Errorf("enroll user %d refused: %s", u, errText(resp))
+			}
+		}
+	}
+	fmt.Fprintln(os.Stderr, "retraining (synchronous, per user)...")
+	body, err := json.Marshal(proto.RetrainRequest{Wait: true})
+	if err != nil {
+		return err
+	}
+	for u := 1; u <= users; u++ {
+		resp, err := pool.roundTrip(proto.TypeRetrainRequest, u, fmt.Sprintf("lg-retrain-%d", u), body)
+		if err != nil {
+			return fmt.Errorf("retrain (user %d's shard): %w", u, err)
+		}
+		if resp.Type == proto.TypeError {
+			return fmt.Errorf("retrain (user %d's shard) refused: %s", u, errText(resp))
+		}
+	}
+	return nil
+}
+
+func errText(env *proto.Envelope) string {
+	var e proto.ErrorResponse
+	if err := proto.DecodeBody(env, &e); err != nil {
+		return "undecodable error body"
+	}
+	if e.Code != "" {
+		return e.Code + ": " + e.Message
+	}
+	return e.Message
+}
+
+// connPool is a free list of framed connections to the target; each
+// round trip checks one out (dialing when empty) and returns it on
+// success, so concurrency — not a fixed client count — sets the number
+// of sockets, matching the open-loop model.
+type connPool struct {
+	addr    string
+	timeout time.Duration
+
+	mu   sync.Mutex
+	free []*pooledConn
+	all  map[*pooledConn]struct{}
+}
+
+type pooledConn struct {
+	conn net.Conn
+	pc   *proto.Conn
+}
+
+func (p *connPool) get() (*pooledConn, error) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", p.addr, p.timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &pooledConn{conn: conn, pc: proto.NewConn(conn)}
+	p.mu.Lock()
+	if p.all == nil {
+		p.all = make(map[*pooledConn]struct{})
+	}
+	p.all[c] = struct{}{}
+	p.mu.Unlock()
+	return c, nil
+}
+
+func (p *connPool) put(c *pooledConn) {
+	p.mu.Lock()
+	p.free = append(p.free, c)
+	p.mu.Unlock()
+}
+
+func (p *connPool) discard(c *pooledConn) {
+	c.conn.Close()
+	p.mu.Lock()
+	delete(p.all, c)
+	p.mu.Unlock()
+}
+
+func (p *connPool) closeAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for c := range p.all {
+		c.conn.Close()
+	}
+	p.all, p.free = nil, nil
+}
+
+// roundTrip performs one framed request/response exchange with the
+// routing hint set, verifying the request-ID echo.
+func (p *connPool) roundTrip(msgType proto.MsgType, user int, reqID string, body []byte) (*proto.Envelope, error) {
+	c, err := p.get()
+	if err != nil {
+		return nil, err
+	}
+	env := &proto.Envelope{Version: proto.Version, Type: msgType, RequestID: reqID, User: user, Body: body}
+	if p.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(p.timeout))
+	}
+	if err := c.pc.SendEnvelope(env); err != nil {
+		p.discard(c)
+		return nil, err
+	}
+	resp, err := c.pc.Receive()
+	if err != nil {
+		p.discard(c)
+		return nil, err
+	}
+	if resp.RequestID != reqID {
+		p.discard(c)
+		return nil, fmt.Errorf("response correlates to %q, want %q", resp.RequestID, reqID)
+	}
+	p.put(c)
+	return resp, nil
+}
+
+// percentile returns the q-th percentile of sorted nanosecond samples
+// (0 when empty).
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,0 +1,162 @@
+// Command echoimage-router is the shard-and-route front of an EchoImage
+// cluster: it terminates client connections speaking the daemon's
+// length-prefixed JSON protocol and forwards each request to the shard
+// owning the subject user, chosen by consistent hashing so a user's
+// enrollment pool and trained model live on exactly one daemon. Requests
+// that fail a shard with a retryable error (dead process, overload shed,
+// truncated frame) fail over to the next ring candidate with backoff;
+// model-wide requests without a user hint fan out to every live shard
+// and aggregate.
+//
+// Usage:
+//
+//	echoimage-router -listen 127.0.0.1:7464 \
+//	    -shard s0=127.0.0.1:7465,127.0.0.1:8465 \
+//	    -shard s1=127.0.0.1:7475,127.0.0.1:8475 \
+//	    -admin-addr 127.0.0.1:8464
+//
+// Each -shard is id=addr or id=addr,adminAddr; with an adminAddr the
+// router probes the shard's /healthz and routes around shards that stop
+// answering. The router's own -admin-addr serves the observability
+// endpoints plus the cluster control surface:
+//
+//	GET  /cluster/shards   membership with derived states
+//	POST /cluster/shards   {"action":"add"|"drain"|"remove", "id":..., "addr":...}
+//
+// so shards can be added and drained at runtime without restarting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"echoimage/internal/cluster"
+	"echoimage/internal/retry"
+	"echoimage/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "echoimage-router:", err)
+		os.Exit(1)
+	}
+}
+
+// shardFlag is one parsed -shard value.
+type shardFlag struct {
+	id, addr, adminAddr string
+}
+
+func parseShard(v string) (shardFlag, error) {
+	id, rest, ok := strings.Cut(v, "=")
+	if !ok || id == "" || rest == "" {
+		return shardFlag{}, fmt.Errorf("shard %q: want id=addr[,adminAddr]", v)
+	}
+	addr, adminAddr, _ := strings.Cut(rest, ",")
+	if addr == "" {
+		return shardFlag{}, fmt.Errorf("shard %q: empty address", v)
+	}
+	return shardFlag{id: id, addr: addr, adminAddr: adminAddr}, nil
+}
+
+func run() error {
+	var shards []shardFlag
+	listenAddr := flag.String("listen", "127.0.0.1:7464", "TCP listen address for client connections")
+	adminAddr := flag.String("admin-addr", "", "serve /metrics, /varz, /healthz, /debug/pprof and /cluster/shards on this address (empty = disabled)")
+	flag.Func("shard", "shard as id=addr[,adminAddr]; repeatable", func(v string) error {
+		s, err := parseShard(v)
+		if err != nil {
+			return err
+		}
+		shards = append(shards, s)
+		return nil
+	})
+	vnodes := flag.Int("vnodes", cluster.DefaultVnodes, "virtual nodes per shard on the hash ring")
+	candidates := flag.Int("candidates", cluster.DefaultCandidates, "distinct shards a user request may try (owner + failover)")
+	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "base backoff between failover attempts")
+	retryCap := flag.Duration("retry-cap", time.Second, "backoff ceiling between failover attempts")
+	dialTimeout := flag.Duration("dial-timeout", cluster.DefaultDialTimeout, "per-upstream dial deadline")
+	upstreamTimeout := flag.Duration("upstream-timeout", 30*time.Second, "per-upstream round-trip deadline (0 = none)")
+	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "drop a client connection idle for this long (0 = never)")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "per-response write deadline (0 = none)")
+	probeInterval := flag.Duration("probe-interval", time.Second, "health-probe period for shards with an admin address")
+	probeTimeout := flag.Duration("probe-timeout", 2*time.Second, "per-probe HTTP deadline")
+	flag.Parse()
+	if len(shards) == 0 {
+		return fmt.Errorf("no shards: pass at least one -shard id=addr")
+	}
+
+	r := cluster.New(cluster.Options{
+		Vnodes:          *vnodes,
+		Candidates:      *candidates,
+		Retry:           retry.Policy{Attempts: *candidates - 1, Base: *retryBase, Cap: *retryCap},
+		DialTimeout:     *dialTimeout,
+		UpstreamTimeout: *upstreamTimeout,
+		ReadTimeout:     *idleTimeout,
+		WriteTimeout:    *writeTimeout,
+		Telemetry:       telemetry.NewRegistry(),
+		Logf:            log.Printf,
+	})
+	for _, s := range shards {
+		if err := r.AddShard(s.id, s.addr, s.adminAddr); err != nil {
+			return err
+		}
+	}
+
+	ln, err := net.Listen("tcp", *listenAddr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	log.Printf("echoimage-router listening on %s (%d shards, %d vnodes)", ln.Addr(), len(shards), *vnodes)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	prober := cluster.NewProber(r, *probeInterval, *probeTimeout)
+	go prober.Run(ctx)
+
+	if *adminAddr != "" {
+		adminLn, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			return fmt.Errorf("admin listen: %w", err)
+		}
+		admin := &http.Server{Handler: cluster.AdminHandler(r, telemetry.AdminHandler(telemetry.AdminOptions{
+			Registry: r.Telemetry(),
+			// The router is healthy while it can route anywhere: at
+			// least one shard not known to be down.
+			Health: func() error {
+				for _, s := range r.Table().Snapshot() {
+					if s.State() != cluster.StateDown {
+						return nil
+					}
+				}
+				return fmt.Errorf("router: no live shards")
+			},
+			Varz: map[string]func() any{
+				"cluster": func() any { return r.Table().Snapshot() },
+			},
+		}))}
+		go func() {
+			if err := admin.Serve(adminLn); err != nil && err != http.ErrServerClosed {
+				log.Printf("admin server: %v", err)
+			}
+		}()
+		defer admin.Close()
+		log.Printf("admin endpoints on http://%s (/metrics /varz /healthz /cluster/shards /debug/pprof)", adminLn.Addr())
+	}
+
+	if err := r.Serve(ctx, ln); err != nil {
+		return err
+	}
+	log.Printf("echoimage-router stopped")
+	return nil
+}

@@ -94,12 +94,19 @@ func DefaultSuite() []Analyzer {
 					"echoimage/internal/sim",
 				}},
 
-				// ── serving stack: telemetry and proto are leaves;
-				// registry may use core + telemetry; only the daemon
-				// wires proto + registry + telemetry + core together ──
+				// ── serving stack: telemetry, proto and retry are
+				// leaves; registry may use core + telemetry; only the
+				// daemon wires proto + registry + telemetry + core
+				// together. The cluster tier sits strictly above the
+				// daemon protocol: it may speak proto and retry and
+				// record telemetry, but must never import the daemon or
+				// the sensing pipeline — a router routes frames, it does
+				// not process captures. ──
 				"echoimage/internal/proto":     {},
 				"echoimage/internal/telemetry": {},
 				"echoimage/internal/faultnet":  {},
+				"echoimage/internal/retry":     {},
+				"echoimage/internal/benchfmt":  {},
 				"echoimage/internal/registry": {AllowedProject: []string{
 					"echoimage/internal/core",
 					"echoimage/internal/telemetry",
@@ -108,6 +115,11 @@ func DefaultSuite() []Analyzer {
 					"echoimage/internal/core",
 					"echoimage/internal/proto",
 					"echoimage/internal/registry",
+					"echoimage/internal/telemetry",
+				}},
+				"echoimage/internal/cluster": {AllowedProject: []string{
+					"echoimage/internal/proto",
+					"echoimage/internal/retry",
 					"echoimage/internal/telemetry",
 				}},
 
@@ -143,7 +155,7 @@ func DefaultSuite() []Analyzer {
 		}),
 
 		NewErrCodes(ErrCodesConfig{
-			Packages:    []string{"echoimage/internal/daemon"},
+			Packages:    []string{"echoimage/internal/daemon", "echoimage/internal/cluster"},
 			ProtoPath:   "echoimage/internal/proto",
 			CodePrefix:  "Code",
 			CodedFunc:   "coded",

@@ -1,0 +1,91 @@
+// Package benchfmt defines the BENCH_*.json report schema shared by
+// cmd/bench-report (which records `go test -bench` runs and gates
+// regressions) and cmd/echoimage-loadgen (which records cluster load
+// experiments in the same shape so the same gate applies). One schema
+// means one diff tool: any run in any report can be compared against any
+// other, whether it came from a microbenchmark or an open-loop load
+// test.
+package benchfmt
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Schema identifies the report format; every report carries it and every
+// reader checks it.
+const Schema = "echoimage-bench/v1"
+
+// Report is the top-level BENCH_*.json document.
+type Report struct {
+	Schema string `json:"schema"`
+	Runs   []Run  `json:"runs"`
+}
+
+// Run is one invocation of the benchmark suite or one load experiment.
+type Run struct {
+	Label      string      `json:"label"`
+	Date       string      `json:"date"`
+	Go         string      `json:"go"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one measured figure: a parsed `go test -bench` result
+// line, or a synthesized load-test metric (percentile latencies carry
+// the percentile in NsPerOp; counters carry the count in Iterations).
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Read loads and schema-checks a report.
+func Read(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if rep.Schema != Schema {
+		return nil, fmt.Errorf("%s has schema %q, want %q", path, rep.Schema, Schema)
+	}
+	return &rep, nil
+}
+
+// Write renders the report as indented JSON at path.
+func (r *Report) Write(path string) error {
+	r.Schema = Schema
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// Run returns the run with the given label, or the last run when label
+// is empty. The second return is false when no run matches (or the
+// report is empty).
+func (r *Report) Run(label string) (*Run, bool) {
+	if label == "" {
+		if len(r.Runs) == 0 {
+			return nil, false
+		}
+		return &r.Runs[len(r.Runs)-1], true
+	}
+	for i := range r.Runs {
+		if r.Runs[i].Label == label {
+			return &r.Runs[i], true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// ShardCommand is the JSON control surface accepted by the admin
+// endpoint's POST /cluster/shards:
+//
+//	{"action":"add","id":"s3","addr":"10.0.0.3:7465","admin_addr":"10.0.0.3:7466"}
+//	{"action":"drain","id":"s3"}
+//	{"action":"remove","id":"s3"}
+type ShardCommand struct {
+	Action    string `json:"action"`
+	ID        string `json:"id"`
+	Addr      string `json:"addr,omitempty"`
+	AdminAddr string `json:"admin_addr,omitempty"`
+}
+
+// AdminHandler wraps a base observability handler (telemetry's /metrics,
+// /varz, /healthz, pprof) with the cluster control surface:
+//
+//	GET  /cluster/shards   current membership with states, as JSON
+//	POST /cluster/shards   apply a ShardCommand (add/drain/remove)
+//
+// Everything else falls through to base.
+func AdminHandler(r *Router, base http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/shards", func(w http.ResponseWriter, req *http.Request) {
+		switch req.Method {
+		case http.MethodGet:
+			writeShards(w, r)
+		case http.MethodPost:
+			var cmd ShardCommand
+			if err := json.NewDecoder(req.Body).Decode(&cmd); err != nil {
+				http.Error(w, "bad command: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			var err error
+			switch cmd.Action {
+			case "add":
+				err = r.AddShard(cmd.ID, cmd.Addr, cmd.AdminAddr)
+			case "drain":
+				err = r.DrainShard(cmd.ID)
+			case "remove":
+				err = r.RemoveShard(cmd.ID)
+			default:
+				http.Error(w, "unknown action "+cmd.Action+" (want add, drain or remove)", http.StatusBadRequest)
+				return
+			}
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			writeShards(w, r)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	if base != nil {
+		mux.Handle("/", base)
+	}
+	return mux
+}
+
+// shardView is the wire form of one shard row: the Shard fields plus the
+// derived state, so operators never have to re-derive it.
+type shardView struct {
+	Shard
+	State State `json:"state"`
+}
+
+func writeShards(w http.ResponseWriter, r *Router) {
+	shards := r.Table().Snapshot()
+	views := make([]shardView, len(shards))
+	for i, s := range shards {
+		views[i] = shardView{Shard: s, State: s.State()}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{"shards": views})
+}

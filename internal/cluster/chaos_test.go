@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"echoimage/internal/faultnet"
+	"echoimage/internal/proto"
+	"echoimage/internal/retry"
+)
+
+// shardIndex maps the startRouter naming convention ("s0", "s1", ...)
+// back to a slice index.
+func shardIndex(t *testing.T, id string) int {
+	t.Helper()
+	if len(id) < 2 || id[0] != 's' {
+		t.Fatalf("unexpected shard id %q", id)
+	}
+	n := 0
+	for _, r := range id[1:] {
+		n = n*10 + int(r-'0')
+	}
+	return n
+}
+
+// chaosRing precomputes ownership for a 3-shard cluster so tests can arm
+// faults on exactly the shard a user routes to. The ring depends only on
+// the IDs, so this matches what the router will build.
+func chaosRing() *Ring { return BuildRing([]string{"s0", "s1", "s2"}, 0) }
+
+// TestChaosMidFrameCut cuts the owner's response connection mid-frame —
+// the truncated-frame failure a crashing shard actually produces, not a
+// clean EOF — and expects the router to fail over to the next ring
+// candidate transparently.
+func TestChaosMidFrameCut(t *testing.T) {
+	const user = 11
+	ring := chaosRing()
+	owner := shardIndex(t, ring.Owner(user))
+	shards := []*fakeShard{newFakeShard(t, nil), newFakeShard(t, nil), newFakeShard(t, nil)}
+	// Every connection to the owner dies after 10 written bytes: the
+	// 4-byte length prefix plus a sliver of JSON body.
+	shards[owner].setWrap(func(c net.Conn) net.Conn {
+		return faultnet.Wrap(c, faultnet.Faults{CutAfterWriteBytes: 10})
+	})
+	r, addr := startRouter(t, Options{Retry: fastRetry}, shards...)
+
+	c := dialRouter(t, addr)
+	resp := c.call(proto.TypeAuthRequest, user, proto.AuthRequest{})
+	if resp.Type != proto.TypeAuthResponse {
+		t.Fatalf("mid-frame cut surfaced to the client: %s/%s", resp.Type, errCode(t, resp))
+	}
+	if r.met.failovers.Value() == 0 {
+		t.Error("cut did not register as a failover")
+	}
+	if len(shards[owner].seenUsers()) == 0 {
+		t.Error("test vacuous: owner never saw the request")
+	}
+}
+
+// TestChaosUpstreamStall freezes the owner's response mid-frame for
+// longer than the upstream timeout; the router's deadline must fire and
+// drive failover instead of hanging the client for the stall duration.
+func TestChaosUpstreamStall(t *testing.T) {
+	const user = 23
+	ring := chaosRing()
+	owner := shardIndex(t, ring.Owner(user))
+	shards := []*fakeShard{newFakeShard(t, nil), newFakeShard(t, nil), newFakeShard(t, nil)}
+	shards[owner].setWrap(func(c net.Conn) net.Conn {
+		return faultnet.Wrap(c, faultnet.Faults{StallAfterWriteBytes: 2, StallFor: time.Second})
+	})
+	r, addr := startRouter(t, Options{Retry: fastRetry, UpstreamTimeout: 100 * time.Millisecond}, shards...)
+
+	c := dialRouter(t, addr)
+	start := time.Now()
+	resp := c.call(proto.TypeAuthRequest, user, proto.AuthRequest{})
+	if resp.Type != proto.TypeAuthResponse {
+		t.Fatalf("stall surfaced to the client: %s/%s", resp.Type, errCode(t, resp))
+	}
+	// The client must be answered on the deadline path, not the stall's
+	// schedule. Generous bound: deadline + backoff ≪ the 1s stall.
+	if elapsed := time.Since(start); elapsed >= time.Second {
+		t.Errorf("response took %v — waited out the stall instead of failing over", elapsed)
+	}
+	if r.met.failovers.Value() == 0 {
+		t.Error("stall did not register as a failover")
+	}
+}
+
+// TestChaosShardKilledMidRun is the acceptance scenario: a 3-shard
+// cluster serving many users loses one shard outright. Surviving shards'
+// users must see zero errors; the killed shard's users must fail over
+// within the router's retry budget — no non-retryable error ever reaches
+// a client.
+func TestChaosShardKilledMidRun(t *testing.T) {
+	shards := []*fakeShard{newFakeShard(t, nil), newFakeShard(t, nil), newFakeShard(t, nil)}
+	r, addr := startRouter(t, Options{Retry: retry.Policy{
+		Attempts: 3, Base: time.Millisecond, Cap: 5 * time.Millisecond,
+	}}, shards...)
+	ring := r.ring.Load()
+
+	const users = 30
+	c := dialRouter(t, addr)
+	// Round 1: everyone authenticates against a healthy cluster.
+	for user := 1; user <= users; user++ {
+		if resp := c.call(proto.TypeAuthRequest, user, proto.AuthRequest{}); resp.Type != proto.TypeAuthResponse {
+			t.Fatalf("healthy round: user %d answered %s/%s", user, resp.Type, errCode(t, resp))
+		}
+	}
+
+	// Kill s1 — listener and every live connection, including the
+	// router's pooled ones.
+	const killed = "s1"
+	shards[1].close()
+
+	// Round 2: every user again. Owners on s0/s2 must be untouched; s1's
+	// users ride failover. Nothing non-retryable may surface.
+	lost := 0
+	for user := 1; user <= users; user++ {
+		resp := c.call(proto.TypeAuthRequest, user, proto.AuthRequest{})
+		if ring.Owner(user) == killed {
+			lost++
+		}
+		if resp.Type != proto.TypeAuthResponse {
+			code := errCode(t, resp)
+			if !proto.RetryableCode(code) {
+				t.Fatalf("user %d (owner %s) got non-retryable %s after shard kill", user, ring.Owner(user), code)
+			}
+			t.Errorf("user %d (owner %s) not recovered within retry budget: %s", user, ring.Owner(user), code)
+		}
+	}
+	if lost == 0 {
+		t.Error("test vacuous: killed shard owned no users")
+	}
+	if r.met.failovers.Value() == 0 {
+		t.Error("shard kill produced no failovers")
+	}
+}
+
+// TestChaosDrainKeepsInFlight drains a shard while it is serving a
+// request: the in-flight request completes on the draining shard, and
+// the next capture for the same user routes around it.
+func TestChaosDrainKeepsInFlight(t *testing.T) {
+	const user = 4
+	ring := chaosRing()
+	ownerID := ring.Owner(user)
+	owner := shardIndex(t, ownerID)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	shards := []*fakeShard{newFakeShard(t, nil), newFakeShard(t, nil), newFakeShard(t, nil)}
+	slow := func(env *proto.Envelope) *proto.Envelope {
+		once.Do(func() { close(started) })
+		<-release
+		return respEnv(proto.TypeAuthResponse, proto.AuthResponse{Accepted: true, UserID: user})
+	}
+	shards[owner].setHandle(slow)
+	r, addr := startRouter(t, Options{Retry: fastRetry}, shards...)
+
+	// Drain the owner the moment the request is on its wire, then let the
+	// handler answer.
+	go func() {
+		<-started
+		if err := r.DrainShard(ownerID); err != nil {
+			r.logf("drain: %v", err)
+		}
+		close(release)
+	}()
+
+	c := dialRouter(t, addr)
+	resp := c.call(proto.TypeAuthRequest, user, proto.AuthRequest{})
+	if resp.Type != proto.TypeAuthResponse {
+		t.Fatalf("in-flight request on draining shard answered %s/%s", resp.Type, errCode(t, resp))
+	}
+	if s, _ := r.Table().Get(ownerID); s.State() != StateDraining {
+		t.Fatalf("owner state %v after drain", s.State())
+	}
+
+	// A fresh capture for the same user must now skip the draining owner.
+	before := len(shards[owner].seenUsers())
+	if resp := c.call(proto.TypeAuthRequest, user, proto.AuthRequest{}); resp.Type != proto.TypeAuthResponse {
+		t.Fatalf("post-drain capture answered %s/%s", resp.Type, errCode(t, resp))
+	}
+	if got := len(shards[owner].seenUsers()); got != before {
+		t.Error("draining shard accepted a new capture")
+	}
+}

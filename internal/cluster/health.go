@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Prober polls every shard's /healthz admin endpoint and feeds the
+// observations into the router's table: a failed probe (non-200,
+// transport error, timeout) marks the shard down so the failover path
+// stops paying dial timeouts for it; a succeeding probe marks it healthy
+// again. Drain intent is orthogonal and untouched — a draining shard
+// that answers probes stays draining, one that stops answering goes
+// down.
+//
+// Shards registered without an admin address are never probed and keep
+// their optimistic healthy state; the router's per-request failover
+// still covers them, just without the fast-fail.
+type Prober struct {
+	router   *Router
+	interval time.Duration
+	client   *http.Client
+	logf     func(string, ...any)
+}
+
+// Default probe cadence and per-probe budget.
+const (
+	DefaultProbeInterval = time.Second
+	DefaultProbeTimeout  = 2 * time.Second
+)
+
+// NewProber builds a prober for the router's shard table. interval <= 0
+// means DefaultProbeInterval; timeout <= 0 means DefaultProbeTimeout.
+func NewProber(r *Router, interval, timeout time.Duration) *Prober {
+	if interval <= 0 {
+		interval = DefaultProbeInterval
+	}
+	if timeout <= 0 {
+		timeout = DefaultProbeTimeout
+	}
+	return &Prober{
+		router:   r,
+		interval: interval,
+		client:   &http.Client{Timeout: timeout},
+		logf:     r.logf,
+	}
+}
+
+// Run probes on the configured cadence until the context is cancelled.
+// All shards of one sweep are probed concurrently so a stalled shard
+// cannot delay detection of the others past the probe timeout.
+func (p *Prober) Run(ctx context.Context) {
+	ticker := time.NewTicker(p.interval)
+	defer ticker.Stop()
+	for {
+		p.Sweep(ctx)
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// Sweep probes every probeable shard once and applies the observations.
+func (p *Prober) Sweep(ctx context.Context) {
+	shards := p.router.Table().Snapshot()
+	var wg sync.WaitGroup
+	for _, s := range shards {
+		if s.AdminAddr == "" {
+			continue
+		}
+		wg.Add(1)
+		go func(s Shard) {
+			defer wg.Done()
+			p.router.MarkHealth(s.ID, p.probe(ctx, s.AdminAddr) == nil)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// probe performs one /healthz round trip.
+func (p *Prober) probe(ctx context.Context, adminAddr string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+adminAddr+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: %s/healthz answered %d", adminAddr, resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"echoimage/internal/proto"
+)
+
+// upstream is one pooled connection to a shard: the raw conn for
+// deadlines and the framed codec on top of it.
+type upstream struct {
+	conn net.Conn
+	pc   *proto.Conn
+}
+
+func (u *upstream) close() { u.conn.Close() }
+
+// pool is a per-shard free list of upstream connections. The daemon
+// protocol is strictly request/response per connection, so an upstream
+// is checked out for exactly one round trip; a transport error retires
+// it (the next checkout dials fresh) and only cleanly-finished
+// connections return to the free list. maxIdle bounds the list — beyond
+// it, finished connections close rather than accumulate.
+type pool struct {
+	addr    string
+	dialTO  time.Duration
+	maxIdle int
+
+	mu     sync.Mutex
+	free   []*upstream
+	closed bool
+}
+
+// defaultMaxIdle bounds each shard's free list when Options.PoolSize is
+// zero.
+const defaultMaxIdle = 16
+
+func newPool(addr string, dialTO time.Duration, maxIdle int) *pool {
+	if maxIdle <= 0 {
+		maxIdle = defaultMaxIdle
+	}
+	return &pool{addr: addr, dialTO: dialTO, maxIdle: maxIdle}
+}
+
+// get pops a pooled connection or dials a new one under the context and
+// the pool's dial timeout.
+func (p *pool) get(ctx context.Context) (*upstream, error) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		u := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return u, nil
+	}
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("cluster: pool for %s is closed", p.addr)
+	}
+	d := net.Dialer{Timeout: p.dialTO}
+	conn, err := d.DialContext(ctx, "tcp", p.addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial shard %s: %w", p.addr, err)
+	}
+	return &upstream{conn: conn, pc: proto.NewConn(conn)}, nil
+}
+
+// put returns a healthy connection to the free list, or closes it when
+// the list is full or the pool was shut down.
+func (p *pool) put(u *upstream) {
+	p.mu.Lock()
+	if p.closed || len(p.free) >= p.maxIdle {
+		p.mu.Unlock()
+		u.close()
+		return
+	}
+	p.free = append(p.free, u)
+	p.mu.Unlock()
+}
+
+// closeAll closes every idle connection and marks the pool closed; used
+// when a shard is removed from membership. Checked-out connections
+// finish their in-flight round trip and are closed on put.
+func (p *pool) closeAll() {
+	p.mu.Lock()
+	free := p.free
+	p.free = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, u := range free {
+		u.close()
+	}
+}

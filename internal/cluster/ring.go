@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring is an immutable consistent-hash ring over shard IDs. Each shard
+// contributes Vnodes virtual points so load spreads evenly even with a
+// handful of shards; a user hashes to a point on the circle and is owned
+// by the first shard point at or after it. Immutability is the
+// concurrency story: the router swaps whole rings atomically on
+// membership change, requests read whichever ring they started with.
+type Ring struct {
+	points []ringPoint
+	shards int
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard string
+}
+
+// DefaultVnodes is the virtual-node count used when Options.Vnodes is
+// zero. 64 points per shard keeps the max/mean ownership imbalance
+// under ~20% for small clusters, at a few KiB of ring.
+const DefaultVnodes = 64
+
+// BuildRing constructs the ring for the given shard IDs. Order of ids is
+// irrelevant — placement depends only on the IDs themselves, so every
+// router instance with the same membership computes the same ring. A nil
+// or empty id list yields an empty ring (Owner returns "").
+func BuildRing(ids []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{points: make([]ringPoint, 0, len(ids)*vnodes), shards: len(ids)}
+	for _, id := range ids {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hashString(id + "#" + strconv.Itoa(v)), shard: id})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (astronomically rare) break by ID so placement stays
+		// deterministic across router instances.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Shards returns how many distinct shards the ring was built from.
+func (r *Ring) Shards() int { return r.shards }
+
+// Owner returns the shard owning the user, or "" on an empty ring.
+func (r *Ring) Owner(user int) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.locate(user)].shard
+}
+
+// Candidates returns up to n distinct shards for the user in failover
+// order: the owner first, then successive distinct shards clockwise
+// around the ring. Every router instance computes the same sequence, so
+// retries during a partial outage converge on the same fallback.
+func (r *Ring) Candidates(user int, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > r.shards {
+		n = r.shards
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i, at := 0, r.locate(user); i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(at+i)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}
+
+// locate finds the index of the first ring point at or after the user's
+// hash, wrapping past the top of the circle.
+func (r *Ring) locate(user int) int {
+	h := hashUser(user)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// hashUser places a user on the circle. The decimal rendering (rather
+// than raw little-endian bytes) keeps the placement identical across
+// architectures and trivially reproducible from logs.
+func hashUser(user int) uint64 {
+	return hashString("user:" + strconv.Itoa(user))
+}
+
+// hashString is FNV-1a followed by a 64-bit avalanche finalizer. Raw
+// FNV-1a disperses the short, near-sequential keys used here ("s0#17",
+// "user:412") poorly in the high bits, and ring placement is decided by
+// the full 64-bit ordering — without the finalizer a 4-shard ring showed
+// >6x ownership imbalance. The finalizer (Murmur3's fmix64) makes every
+// input bit reach every output bit.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestRingDeterministicAcrossOrder(t *testing.T) {
+	a := BuildRing([]string{"s0", "s1", "s2", "s3"}, 0)
+	b := BuildRing([]string{"s3", "s1", "s0", "s2"}, 0)
+	for user := 1; user <= 500; user++ {
+		if a.Owner(user) != b.Owner(user) {
+			t.Fatalf("user %d owned by %s vs %s depending on id order", user, a.Owner(user), b.Owner(user))
+		}
+	}
+}
+
+func TestRingCandidates(t *testing.T) {
+	r := BuildRing([]string{"s0", "s1", "s2"}, 0)
+	for user := 1; user <= 100; user++ {
+		c := r.Candidates(user, 3)
+		if len(c) != 3 {
+			t.Fatalf("user %d: %d candidates, want 3", user, len(c))
+		}
+		if c[0] != r.Owner(user) {
+			t.Errorf("user %d: first candidate %s is not the owner %s", user, c[0], r.Owner(user))
+		}
+		seen := map[string]bool{}
+		for _, id := range c {
+			if seen[id] {
+				t.Errorf("user %d: duplicate candidate %s in %v", user, id, c)
+			}
+			seen[id] = true
+		}
+	}
+	// Requesting more candidates than shards clamps.
+	if c := r.Candidates(1, 10); len(c) != 3 {
+		t.Errorf("candidates beyond membership: %v", c)
+	}
+	// Empty ring routes nothing.
+	empty := BuildRing(nil, 0)
+	if empty.Owner(1) != "" || empty.Candidates(1, 3) != nil {
+		t.Error("empty ring produced an owner")
+	}
+}
+
+// TestRingBalance checks virtual nodes spread ownership: with 4 shards
+// no shard owns less than half or more than double its fair share.
+func TestRingBalance(t *testing.T) {
+	ids := []string{"s0", "s1", "s2", "s3"}
+	r := BuildRing(ids, 0)
+	counts := map[string]int{}
+	const users = 20000
+	for user := 1; user <= users; user++ {
+		counts[r.Owner(user)]++
+	}
+	fair := users / len(ids)
+	for _, id := range ids {
+		if counts[id] < fair/2 || counts[id] > fair*2 {
+			t.Errorf("shard %s owns %d of %d users (fair share %d)", id, counts[id], users, fair)
+		}
+	}
+}
+
+// TestRingRemovalStability pins the consistent-hashing property the
+// whole design leans on: removing one shard reassigns only the users it
+// owned — everyone else keeps their shard (and their models).
+func TestRingRemovalStability(t *testing.T) {
+	before := BuildRing([]string{"s0", "s1", "s2", "s3"}, 0)
+	after := BuildRing([]string{"s0", "s1", "s3"}, 0)
+	moved := 0
+	for user := 1; user <= 5000; user++ {
+		was := before.Owner(user)
+		now := after.Owner(user)
+		if was == "s2" {
+			moved++
+			if now == "s2" {
+				t.Fatalf("user %d still owned by removed shard", user)
+			}
+			continue
+		}
+		if was != now {
+			t.Errorf("user %d moved %s → %s though its shard survived", user, was, now)
+		}
+	}
+	if moved == 0 {
+		t.Error("test vacuous: removed shard owned no users")
+	}
+}

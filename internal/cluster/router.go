@@ -1,0 +1,656 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"echoimage/internal/proto"
+	"echoimage/internal/retry"
+	"echoimage/internal/telemetry"
+)
+
+// Options tunes the router.
+type Options struct {
+	// Vnodes is the virtual-node count per shard; 0 means DefaultVnodes.
+	Vnodes int
+	// Candidates is how many distinct ring candidates a user-routed
+	// request may try (owner + failover); 0 means DefaultCandidates.
+	Candidates int
+	// Retry is the per-request failover backoff applied between
+	// candidate attempts. The zero value fails over immediately with a
+	// budget of Candidates-1 retries.
+	Retry retry.Policy
+	// DialTimeout bounds each upstream dial. 0 means DefaultDialTimeout.
+	DialTimeout time.Duration
+	// UpstreamTimeout bounds one upstream round trip (send + receive).
+	// 0 disables.
+	UpstreamTimeout time.Duration
+	// PoolSize bounds each shard's idle connection pool; 0 means the
+	// package default.
+	PoolSize int
+	// ReadTimeout is the per-message idle deadline on client
+	// connections. 0 disables.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each client response write. 0 disables.
+	WriteTimeout time.Duration
+	// Telemetry receives the router's metrics; nil builds a private
+	// registry, still readable via Router.Telemetry.
+	Telemetry *telemetry.Registry
+	// Logf receives operational logging; nil silences it.
+	Logf func(format string, args ...any)
+}
+
+// Defaults for the routing knobs.
+const (
+	// DefaultCandidates is the failover width: the owner plus two
+	// fallbacks. Wider adds little — a third fallback only matters when
+	// three shards fail inside one retry budget.
+	DefaultCandidates = 3
+	// DefaultDialTimeout bounds upstream dials when Options.DialTimeout
+	// is zero; dead shards must fail fast enough to stay inside an
+	// interactive retry budget.
+	DefaultDialTimeout = 2 * time.Second
+)
+
+// Router terminates client connections speaking the daemon protocol and
+// forwards each request to the owning shard, preserving the envelope —
+// version, request ID and body cross unchanged in both directions.
+type Router struct {
+	table *Table
+	opts  Options
+	logf  func(string, ...any)
+	tel   *telemetry.Registry
+	met   *routerMetrics
+
+	ring atomic.Pointer[Ring]
+
+	poolMu sync.Mutex
+	pools  map[string]*pool
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+}
+
+// New builds a router over an empty shard table; register shards with
+// AddShard (or the admin surface) before serving.
+func New(opts Options) *Router {
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	tel := opts.Telemetry
+	if tel == nil {
+		tel = telemetry.NewRegistry()
+	}
+	if opts.Candidates <= 0 {
+		opts.Candidates = DefaultCandidates
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = DefaultDialTimeout
+	}
+	if opts.Retry.Attempts <= 0 {
+		opts.Retry.Attempts = opts.Candidates - 1
+	}
+	r := &Router{
+		table: NewTable(),
+		opts:  opts,
+		logf:  logf,
+		tel:   tel,
+		met:   newRouterMetrics(tel),
+		pools: make(map[string]*pool),
+		conns: make(map[net.Conn]struct{}),
+	}
+	r.ring.Store(BuildRing(nil, opts.Vnodes))
+	return r
+}
+
+// Table exposes the shard table (prober, admin surface, tests).
+func (r *Router) Table() *Table { return r.table }
+
+// Telemetry exposes the metric registry the router records into.
+func (r *Router) Telemetry() *telemetry.Registry { return r.tel }
+
+// AddShard registers a shard and rebuilds the ring.
+func (r *Router) AddShard(id, addr, adminAddr string) error {
+	if err := r.table.Add(id, addr, adminAddr); err != nil {
+		return err
+	}
+	r.rebuild()
+	r.logf("cluster: shard %s added (%s)", id, addr)
+	return nil
+}
+
+// DrainShard marks a shard draining: no new captures, in-flight requests
+// complete. The ring is untouched — ownership moves only on Remove.
+func (r *Router) DrainShard(id string) error {
+	if err := r.table.Drain(id); err != nil {
+		return err
+	}
+	r.met.setRingGauges(r.table.Snapshot())
+	r.logf("cluster: shard %s draining", id)
+	return nil
+}
+
+// RemoveShard deletes a shard, rebuilds the ring (reassigning its users)
+// and closes its idle connections.
+func (r *Router) RemoveShard(id string) error {
+	if err := r.table.Remove(id); err != nil {
+		return err
+	}
+	r.rebuild()
+	r.poolMu.Lock()
+	p := r.pools[id]
+	delete(r.pools, id)
+	r.poolMu.Unlock()
+	if p != nil {
+		p.closeAll()
+	}
+	r.logf("cluster: shard %s removed", id)
+	return nil
+}
+
+// MarkHealth records a health observation (the prober's callback) and
+// refreshes the ring-state gauges.
+func (r *Router) MarkHealth(id string, healthy bool) {
+	if r.table.SetHealthy(id, healthy) {
+		r.met.setRingGauges(r.table.Snapshot())
+		state := "healthy"
+		if !healthy {
+			state = "down"
+		}
+		r.logf("cluster: shard %s %s", id, state)
+	}
+}
+
+// rebuild recomputes the ring from current membership and refreshes the
+// gauges.
+func (r *Router) rebuild() {
+	r.ring.Store(BuildRing(r.table.IDs(), r.opts.Vnodes))
+	r.met.setRingGauges(r.table.Snapshot())
+}
+
+// shardPool returns (creating if needed) the connection pool for a
+// shard. The pool is keyed by shard ID and pinned to the address the
+// shard had at creation; Remove+Add is the way to move a shard.
+func (r *Router) shardPool(id, addr string) *pool {
+	r.poolMu.Lock()
+	defer r.poolMu.Unlock()
+	p := r.pools[id]
+	if p == nil {
+		p = newPool(addr, r.opts.DialTimeout, r.opts.PoolSize)
+		r.pools[id] = p
+	}
+	return p
+}
+
+// routeError pairs a failure with its stable protocol code, mirroring
+// the daemon's srvError so refusals synthesized by the router carry the
+// same code vocabulary clients already branch on.
+type routeError struct {
+	code string
+	err  error
+}
+
+func (e *routeError) Error() string { return e.err.Error() }
+func (e *routeError) Unwrap() error { return e.err }
+
+func coded(code string, err error) *routeError { return &routeError{code: code, err: err} }
+
+// errorCode extracts the stable code from a routing failure, defaulting
+// to internal.
+func errorCode(err error) string {
+	var re *routeError
+	if errors.As(err, &re) {
+		return re.code
+	}
+	return proto.CodeInternal
+}
+
+// retryableErr reports whether a candidate attempt may fail over: any
+// transport-level failure (dial, send, receive — the connection state is
+// unknown, but the next candidate is a different process) or an in-band
+// refusal with a retryable code.
+func retryableErr(err error) bool {
+	var re *routeError
+	if errors.As(err, &re) {
+		return proto.RetryableCode(re.code)
+	}
+	return true
+}
+
+// Serve accepts client connections until the context is cancelled; it
+// mirrors the daemon's accept/drain loop so SIGTERM semantics match
+// across the serving tier.
+func (r *Router) Serve(ctx context.Context, ln net.Listener) error {
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			ln.Close()
+		case <-done:
+		}
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				wg.Wait()
+				return nil
+			}
+			wg.Wait()
+			return fmt.Errorf("cluster: accept: %w", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			r.ServeConn(ctx, conn)
+		}()
+	}
+}
+
+// ServeConn runs one client connection's request loop: read, route,
+// answer with the request ID echoed. Transport errors drop the
+// connection; routing failures answer in-band with a stable code.
+func (r *Router) ServeConn(ctx context.Context, conn net.Conn) {
+	r.met.connsTotal.Inc()
+	r.met.connsActive.Inc()
+	defer r.met.connsActive.Dec()
+	pc := proto.NewConn(conn)
+	stop := context.AfterFunc(ctx, func() { conn.SetReadDeadline(time.Now()) })
+	defer stop()
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if r.opts.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(r.opts.ReadTimeout))
+			if ctx.Err() != nil {
+				conn.SetReadDeadline(time.Now())
+			}
+		}
+		env, err := pc.Receive()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && ctx.Err() == nil {
+				r.logf("cluster: receive: %v", err)
+			}
+			return
+		}
+		start := time.Now()
+		r.met.inflight.Inc()
+		resp, herr := r.route(ctx, env)
+		r.met.inflight.Dec()
+		r.met.requestCounter(env.Type).Inc()
+		r.met.requestLatency(env.Type).ObserveDuration(time.Since(start))
+		if herr != nil {
+			code := errorCode(herr)
+			r.met.errorCounter(code).Inc()
+			r.logf("cluster: %s: %v", env.Type, herr)
+			resp = reply(env, proto.TypeError)
+			raw, merr := json.Marshal(proto.ErrorResponse{Code: code, Message: herr.Error()})
+			if merr != nil {
+				r.logf("cluster: encode error response: %v", merr)
+				return
+			}
+			resp.Body = raw
+		}
+		if r.opts.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(r.opts.WriteTimeout))
+		}
+		if err := pc.SendEnvelope(resp); err != nil {
+			if ctx.Err() == nil {
+				r.logf("cluster: send: %v", err)
+			}
+			return
+		}
+	}
+}
+
+// reply shapes an error envelope for a request, mirroring the daemon:
+// v2 requests get version + request ID echoed, v1 requests a bare
+// envelope.
+func reply(req *proto.Envelope, msgType proto.MsgType) *proto.Envelope {
+	resp := &proto.Envelope{Type: msgType}
+	if req.Version >= 2 {
+		resp.Version = proto.Version
+		resp.RequestID = req.RequestID
+	}
+	return resp
+}
+
+// route dispatches one request: user-keyed types go to the owning shard
+// with failover, model-wide types without a user hint fan out to every
+// shard and aggregate. The response envelope from a shard is forwarded
+// verbatim (request_id preserved by the shard's own echo).
+func (r *Router) route(ctx context.Context, env *proto.Envelope) (*proto.Envelope, error) {
+	switch env.Type {
+	case proto.TypeEnrollRequest, proto.TypeAuthRequest:
+		user, err := r.routeUser(env)
+		if err != nil {
+			return nil, err
+		}
+		return r.forwardUser(ctx, env, user, true)
+	case proto.TypeRetrainRequest, proto.TypeStatusRequest, proto.TypeModelInfoRequest:
+		if env.User != 0 {
+			return r.forwardUser(ctx, env, env.User, false)
+		}
+		return r.fanout(ctx, env)
+	default:
+		return nil, coded(proto.CodeUnknownType, fmt.Errorf("unknown message type %q", env.Type))
+	}
+}
+
+// routeUser extracts the routing key: the envelope hint when present,
+// else the user_id from an enroll body. Authentication bodies carry no
+// user (identification is open-set), so an unhinted authenticate cannot
+// be routed and is refused — the CLI and load generator always hint.
+func (r *Router) routeUser(env *proto.Envelope) (int, error) {
+	if env.User != 0 {
+		return env.User, nil
+	}
+	if env.Type == proto.TypeEnrollRequest {
+		var body struct {
+			UserID int `json:"user_id"`
+		}
+		if err := json.Unmarshal(env.Body, &body); err == nil && body.UserID > 0 {
+			return body.UserID, nil
+		}
+	}
+	return 0, coded(proto.CodeBadRequest,
+		fmt.Errorf("%s request carries no user routing hint (set envelope field \"user\")", env.Type))
+}
+
+// forwardUser sends the request to the user's owning shard, failing over
+// across ring candidates on retryable errors. newCapture marks requests
+// that start work on a shard (enroll, authenticate): those skip draining
+// candidates, while read-mostly requests (status, model_info, retrain
+// with an explicit user hint) may still consult a draining owner.
+//
+// Failover deliberately maps a fallback shard's not_trained to
+// unavailable: the fallback answering "no model" means the owner — who
+// has the model — is unreachable, a transient cluster condition, not a
+// permanent fact about the user. The owner's own not_trained passes
+// through unchanged.
+func (r *Router) forwardUser(ctx context.Context, env *proto.Envelope, user int, newCapture bool) (*proto.Envelope, error) {
+	ring := r.ring.Load()
+	candidates := ring.Candidates(user, r.opts.Candidates)
+	if len(candidates) == 0 {
+		return nil, coded(proto.CodeUnavailable, fmt.Errorf("no shards registered"))
+	}
+	attempt := 0
+	var resp *proto.Envelope
+	// Exhausting the candidate list ends the loop immediately — backing
+	// off inside the router buys nothing once every candidate was tried;
+	// the client's own retry policy owns the longer horizon.
+	canRetry := func(err error) bool {
+		return !errors.Is(err, errExhausted) && retryableErr(err)
+	}
+	err := retry.Do(ctx, r.opts.Retry, canRetry, func() error {
+		for ; attempt < len(candidates); attempt++ {
+			id := candidates[attempt]
+			shard, ok := r.table.Get(id)
+			if !ok {
+				continue
+			}
+			switch shard.State() {
+			case StateDown:
+				continue
+			case StateDraining:
+				if newCapture {
+					continue
+				}
+			}
+			fallback := id != candidates[0]
+			out, rerr := r.roundTrip(ctx, &shard, env)
+			if rerr != nil {
+				r.met.shardErrorCounter(id).Inc()
+				if retryableErr(rerr) {
+					r.met.failovers.Inc()
+					attempt++
+					return rerr
+				}
+				return rerr
+			}
+			if fallback && out.Type == proto.TypeError {
+				if code := decodeErrorCode(out); code == proto.CodeNotTrained {
+					r.met.shardErrorCounter(id).Inc()
+					r.met.failovers.Inc()
+					attempt++
+					return coded(proto.CodeUnavailable,
+						fmt.Errorf("user %d's owning shard is unreachable and fallback %s holds no model", user, id))
+				}
+			}
+			resp = out
+			return nil
+		}
+		return fmt.Errorf("no live candidate shard for user %d (candidates %v): %w", user, candidates, errExhausted)
+	}, func(n int, err error, d time.Duration) {
+		r.logf("cluster: user %d attempt %d failed (%v); next candidate in %v", user, n, err, d)
+	})
+	if err != nil {
+		if !errors.Is(err, errExhausted) && !retryableErr(err) {
+			return nil, err
+		}
+		return nil, coded(proto.CodeUnavailable, fmt.Errorf("user %d: %w", user, err))
+	}
+	return resp, nil
+}
+
+// errExhausted marks a failover loop that ran out of live candidates;
+// it surfaces to the client as a retryable unavailable refusal but is
+// not itself retried inside the router.
+var errExhausted = errors.New("candidate shards exhausted")
+
+// roundTrip performs one request/response exchange against a shard over
+// a pooled connection. Any transport failure retires the connection and
+// returns a plain (non-coded, hence retryable) error. In-band error
+// responses are classified: retryable codes surface as routeErrors so
+// failover engages, everything else is returned as the shard's verbatim
+// response for the client to see.
+func (r *Router) roundTrip(ctx context.Context, shard *Shard, env *proto.Envelope) (*proto.Envelope, error) {
+	p := r.shardPool(shard.ID, shard.Addr)
+	u, err := p.get(ctx)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if r.opts.UpstreamTimeout > 0 {
+		u.conn.SetDeadline(time.Now().Add(r.opts.UpstreamTimeout))
+	}
+	r.met.shardRequestCounter(shard.ID).Inc()
+	if err := u.pc.SendEnvelope(env); err != nil {
+		u.close()
+		return nil, fmt.Errorf("cluster: send to shard %s: %w", shard.ID, err)
+	}
+	resp, err := u.pc.Receive()
+	r.met.shardLatencyHist(shard.ID).ObserveDuration(time.Since(start))
+	if err != nil {
+		u.close()
+		return nil, fmt.Errorf("cluster: receive from shard %s: %w", shard.ID, err)
+	}
+	p.put(u)
+	if resp.Type == proto.TypeError {
+		if code := decodeErrorCode(resp); proto.RetryableCode(code) {
+			return nil, coded(code, fmt.Errorf("shard %s refused: %s", shard.ID, code))
+		}
+	}
+	return resp, nil
+}
+
+// decodeErrorCode extracts the stable code from an error response
+// envelope ("" when undecodable).
+func decodeErrorCode(env *proto.Envelope) string {
+	var e proto.ErrorResponse
+	if err := json.Unmarshal(env.Body, &e); err != nil {
+		return ""
+	}
+	return e.Code
+}
+
+// fanout forwards a model-wide request to every non-down shard and
+// aggregates the responses. Draining shards are included — reading
+// status from a shard being decommissioned is exactly what an operator
+// wants during a drain.
+func (r *Router) fanout(ctx context.Context, env *proto.Envelope) (*proto.Envelope, error) {
+	shards := r.table.Snapshot()
+	var live []Shard
+	for _, s := range shards {
+		if s.State() != StateDown {
+			live = append(live, s)
+		}
+	}
+	if len(live) == 0 {
+		return nil, coded(proto.CodeUnavailable, fmt.Errorf("no live shards"))
+	}
+	type result struct {
+		shard string
+		resp  *proto.Envelope
+		err   error
+	}
+	results := make([]result, len(live))
+	var wg sync.WaitGroup
+	for i := range live {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := r.roundTrip(ctx, &live[i], env)
+			results[i] = result{shard: live[i].ID, resp: resp, err: err}
+		}(i)
+	}
+	wg.Wait()
+
+	var ok []*proto.Envelope
+	var firstErr error
+	for _, res := range results {
+		switch {
+		case res.err != nil:
+			r.met.shardErrorCounter(res.shard).Inc()
+			if firstErr == nil {
+				firstErr = res.err
+			}
+		case res.resp.Type == proto.TypeError:
+			// A non-retryable in-band refusal from any shard fails the
+			// aggregate: partial retrains must not report success.
+			if firstErr == nil {
+				firstErr = coded(decodeErrorCode(res.resp),
+					fmt.Errorf("shard %s: %s", res.shard, decodeErrorCode(res.resp)))
+			}
+		default:
+			ok = append(ok, res.resp)
+		}
+	}
+	if len(ok) == 0 {
+		if firstErr != nil {
+			if !retryableErr(firstErr) {
+				return nil, firstErr
+			}
+			return nil, coded(proto.CodeUnavailable, fmt.Errorf("fanout %s: %w", env.Type, firstErr))
+		}
+		return nil, coded(proto.CodeInternal, fmt.Errorf("fanout %s: no responses", env.Type))
+	}
+	if firstErr != nil {
+		if !retryableErr(firstErr) {
+			return nil, firstErr
+		}
+		return nil, coded(proto.CodeUnavailable,
+			fmt.Errorf("fanout %s: partial failure: %w", env.Type, firstErr))
+	}
+	return r.aggregate(env, ok)
+}
+
+// aggregate merges fan-out responses into one client answer.
+func (r *Router) aggregate(req *proto.Envelope, resps []*proto.Envelope) (*proto.Envelope, error) {
+	out := reply(req, resps[0].Type)
+	var body any
+	switch req.Type {
+	case proto.TypeStatusRequest:
+		agg := proto.StatusResponse{Users: []int{}}
+		seen := make(map[int]bool)
+		for _, resp := range resps {
+			var s proto.StatusResponse
+			if err := proto.DecodeBody(resp, &s); err != nil {
+				return nil, coded(proto.CodeInternal, err)
+			}
+			for _, u := range s.Users {
+				if !seen[u] {
+					seen[u] = true
+					agg.Users = append(agg.Users, u)
+				}
+			}
+			agg.TotalImages += s.TotalImages
+			agg.Trained = agg.Trained || s.Trained
+			if s.ModelVersion > agg.ModelVersion {
+				agg.ModelVersion = s.ModelVersion
+			}
+		}
+		sort.Ints(agg.Users)
+		body = agg
+	case proto.TypeRetrainRequest:
+		agg := proto.RetrainResponse{}
+		for _, resp := range resps {
+			var rt proto.RetrainResponse
+			if err := proto.DecodeBody(resp, &rt); err != nil {
+				return nil, coded(proto.CodeInternal, err)
+			}
+			agg.Queued = agg.Queued || rt.Queued
+			if rt.ModelVersion > agg.ModelVersion {
+				agg.ModelVersion = rt.ModelVersion
+			}
+		}
+		body = agg
+	case proto.TypeModelInfoRequest:
+		agg := proto.ModelInfoResponse{}
+		for _, resp := range resps {
+			var mi proto.ModelInfoResponse
+			if err := proto.DecodeBody(resp, &mi); err != nil {
+				return nil, coded(proto.CodeInternal, err)
+			}
+			if !mi.Trained {
+				continue
+			}
+			agg.Trained = true
+			agg.Users += mi.Users
+			agg.Images += mi.Images
+			agg.IndexSize += mi.IndexSize
+			if mi.ModelVersion > agg.ModelVersion {
+				agg.ModelVersion = mi.ModelVersion
+			}
+			if mi.TrainMillis > agg.TrainMillis {
+				agg.TrainMillis = mi.TrainMillis
+			}
+			if mi.TrainedAt > agg.TrainedAt {
+				agg.TrainedAt = mi.TrainedAt
+			}
+			if agg.IdentifyMode == "" {
+				agg.IdentifyMode = mi.IdentifyMode
+			} else if agg.IdentifyMode != mi.IdentifyMode {
+				agg.IdentifyMode = "mixed"
+			}
+			agg.Loaded = agg.Loaded || mi.Loaded
+			agg.Extended = agg.Extended || mi.Extended
+			if agg.LastError == "" {
+				agg.LastError = mi.LastError
+			}
+		}
+		body = agg
+	default:
+		// Single-response types never reach aggregation.
+		return resps[0], nil
+	}
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, coded(proto.CodeInternal, fmt.Errorf("marshal aggregate %s: %w", req.Type, err))
+	}
+	out.Body = raw
+	return out, nil
+}

@@ -1,0 +1,179 @@
+// Package cluster is the shard-and-route serving tier: a consistent-hash
+// ring that assigns users to echoimaged shards, a shard table with
+// explicit lifecycle states, a health prober, pooled upstream
+// connections, and the request router that cmd/echoimage-router wraps in
+// a daemon. Routing is by user ID because model state has shard
+// affinity: a user's enrollment pool, SVDD gate, SVM pairs and index
+// vectors live in exactly one shard's registry, so their requests must
+// land there — any shard can answer, but only the owner can answer
+// correctly.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// State is a shard's derived serving state.
+type State string
+
+const (
+	// StateActive shards accept new capture traffic.
+	StateActive State = "active"
+	// StateDraining shards finish requests already routed to them but
+	// receive no new captures; the state is operator intent (set via the
+	// admin surface before decommissioning) and is never cleared by the
+	// prober.
+	StateDraining State = "draining"
+	// StateDown shards failed their last health probe; the router fails
+	// their candidates fast instead of waiting out dial timeouts.
+	StateDown State = "down"
+)
+
+// Shard is one echoimaged backend.
+type Shard struct {
+	// ID names the shard on the ring; it must be stable across restarts
+	// or ownership reshuffles.
+	ID string `json:"id"`
+	// Addr is the proto-speaking authentication socket.
+	Addr string `json:"addr"`
+	// AdminAddr, when set, is the shard's admin listener; the prober
+	// polls its /healthz. Empty means the shard is assumed healthy until
+	// removed.
+	AdminAddr string `json:"admin_addr,omitempty"`
+	// Draining is operator intent (admin drain), sticky until removal.
+	Draining bool `json:"draining,omitempty"`
+	// Healthy is the prober's last observation. New shards start
+	// healthy — optimistically serving — and the prober corrects within
+	// one interval.
+	Healthy bool `json:"healthy"`
+}
+
+// State derives the serving state: health loss dominates (a draining
+// shard that dies is down), then drain intent, then active.
+func (s Shard) State() State {
+	switch {
+	case !s.Healthy:
+		return StateDown
+	case s.Draining:
+		return StateDraining
+	default:
+		return StateActive
+	}
+}
+
+// Table is the mutable shard membership the router serves from. All
+// methods are safe for concurrent use; reads taken under Snapshot or Get
+// are value copies. Version increments on every membership change (add
+// or remove), letting the router rebuild its ring only when ownership
+// actually moved — state flips (drain, health) never reshuffle the ring.
+type Table struct {
+	mu      sync.RWMutex
+	shards  map[string]*Shard
+	version int
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{shards: make(map[string]*Shard)}
+}
+
+// Add registers a new shard in the active state. Duplicate IDs are an
+// error: re-adding under the same ID would silently retarget every user
+// the ring maps there.
+func (t *Table) Add(id, addr, adminAddr string) error {
+	if id == "" || addr == "" {
+		return fmt.Errorf("cluster: shard needs id and addr (got id=%q addr=%q)", id, addr)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.shards[id]; ok {
+		return fmt.Errorf("cluster: shard %q already registered", id)
+	}
+	t.shards[id] = &Shard{ID: id, Addr: addr, AdminAddr: adminAddr, Healthy: true}
+	t.version++
+	return nil
+}
+
+// Drain marks a shard as draining: in-flight requests complete, no new
+// captures are routed to it. Draining is sticky — only Remove ends it.
+func (t *Table) Drain(id string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.shards[id]
+	if !ok {
+		return fmt.Errorf("cluster: unknown shard %q", id)
+	}
+	s.Draining = true
+	return nil
+}
+
+// Remove deletes a shard from membership; the ring rebuilt afterwards
+// reassigns its users to the surviving shards.
+func (t *Table) Remove(id string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.shards[id]; !ok {
+		return fmt.Errorf("cluster: unknown shard %q", id)
+	}
+	delete(t.shards, id)
+	t.version++
+	return nil
+}
+
+// SetHealthy records a probe observation. It reports whether the state
+// actually changed (for logging and gauge refresh).
+func (t *Table) SetHealthy(id string, healthy bool) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.shards[id]
+	if !ok || s.Healthy == healthy {
+		return false
+	}
+	s.Healthy = healthy
+	return true
+}
+
+// Get returns a copy of the shard, if registered.
+func (t *Table) Get(id string) (Shard, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s, ok := t.shards[id]
+	if !ok {
+		return Shard{}, false
+	}
+	return *s, true
+}
+
+// Snapshot returns all shards, sorted by ID.
+func (t *Table) Snapshot() []Shard {
+	t.mu.RLock()
+	out := make([]Shard, 0, len(t.shards))
+	for _, s := range t.shards {
+		out = append(out, *s)
+	}
+	t.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// IDs returns the member shard IDs, sorted, regardless of state: ring
+// membership is ownership, and ownership only changes on add/remove.
+func (t *Table) IDs() []string {
+	t.mu.RLock()
+	out := make([]string, 0, len(t.shards))
+	for id := range t.shards {
+		out = append(out, id)
+	}
+	t.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Version returns the membership version (bumped by Add and Remove).
+func (t *Table) Version() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
+}

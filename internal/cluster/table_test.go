@@ -1,0 +1,72 @@
+package cluster
+
+import "testing"
+
+func TestTableLifecycle(t *testing.T) {
+	tab := NewTable()
+	if err := tab.Add("s0", "127.0.0.1:1", "127.0.0.1:2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Add("s0", "127.0.0.1:3", ""); err == nil {
+		t.Error("duplicate shard ID accepted")
+	}
+	if err := tab.Add("", "127.0.0.1:3", ""); err == nil {
+		t.Error("empty shard ID accepted")
+	}
+	v := tab.Version()
+	if v == 0 {
+		t.Error("Add did not bump the membership version")
+	}
+
+	s, ok := tab.Get("s0")
+	if !ok || s.State() != StateActive {
+		t.Fatalf("new shard state %v, want active", s.State())
+	}
+
+	// Health flips derive down, but never clear drain intent.
+	if !tab.SetHealthy("s0", false) {
+		t.Error("health change not reported")
+	}
+	if tab.SetHealthy("s0", false) {
+		t.Error("idempotent health change reported as a change")
+	}
+	if s, _ = tab.Get("s0"); s.State() != StateDown {
+		t.Errorf("unhealthy shard state %v, want down", s.State())
+	}
+	tab.SetHealthy("s0", true)
+	if err := tab.Drain("s0"); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ = tab.Get("s0"); s.State() != StateDraining {
+		t.Errorf("drained shard state %v, want draining", s.State())
+	}
+	// A draining shard that dies is down; recovering makes it draining
+	// again, not active — drain is operator intent, health is observation.
+	tab.SetHealthy("s0", false)
+	if s, _ = tab.Get("s0"); s.State() != StateDown {
+		t.Errorf("dead draining shard state %v, want down", s.State())
+	}
+	tab.SetHealthy("s0", true)
+	if s, _ = tab.Get("s0"); s.State() != StateDraining {
+		t.Errorf("recovered draining shard state %v, want draining", s.State())
+	}
+
+	if tab.Version() != v {
+		t.Error("state flips moved the membership version (would reshuffle the ring)")
+	}
+	if err := tab.Remove("s0"); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Version() == v {
+		t.Error("Remove did not bump the membership version")
+	}
+	if err := tab.Remove("s0"); err == nil {
+		t.Error("removing an unknown shard succeeded")
+	}
+	if err := tab.Drain("s0"); err == nil {
+		t.Error("draining an unknown shard succeeded")
+	}
+	if tab.SetHealthy("s0", false) {
+		t.Error("health change on unknown shard reported")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"echoimage/internal/core"
@@ -45,6 +46,14 @@ type Options struct {
 	// processing slot before being shed with code `overloaded`. 0 means
 	// DefaultQueueWait; negative sheds immediately when saturated.
 	QueueWait time.Duration
+	// CaptureHold occupies each capture's processing slot for this extra
+	// duration, modeling the non-CPU time a real capture spends on the
+	// device — emitting the beep train and recording its echoes — which
+	// the simulator's in-memory captures skip entirely. Default (0) is
+	// off; it exists so load experiments on few-core machines can exhibit
+	// the slot contention a real deployment has. Always stated in bench
+	// reports when non-zero.
+	CaptureHold time.Duration
 	// ShutdownGrace is how long Serve waits, after cancellation, for
 	// in-flight connections to finish their current request before
 	// force-closing them. 0 means DefaultShutdownGrace.
@@ -75,18 +84,20 @@ const (
 // Server is the daemon transport. Construct with New or NewWithOptions;
 // methods are safe for concurrent connections.
 type Server struct {
-	sys        *core.System
-	reg        *registry.Registry
-	logf       func(format string, args ...any)
-	readTO     time.Duration
-	writeTO    time.Duration
-	requestTO  time.Duration
-	queueWait  time.Duration
-	grace      time.Duration
-	captureSem chan struct{}
-	tel        *telemetry.Registry
-	met        serverMetrics
-	traces     *telemetry.TraceLog
+	sys         *core.System
+	reg         *registry.Registry
+	logf        func(format string, args ...any)
+	readTO      time.Duration
+	writeTO     time.Duration
+	requestTO   time.Duration
+	queueWait   time.Duration
+	captureHold time.Duration
+	grace       time.Duration
+	captureSem  chan struct{}
+	tel         *telemetry.Registry
+	met         serverMetrics
+	traces      *telemetry.TraceLog
+	stopping    atomic.Bool
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -128,17 +139,18 @@ func NewWithOptions(sys *core.System, authCfg core.AuthConfig, logf func(string,
 			Logf:      logf,
 			Telemetry: tel,
 		}),
-		logf:       logf,
-		readTO:     opts.ReadTimeout,
-		writeTO:    opts.WriteTimeout,
-		requestTO:  opts.RequestTimeout,
-		queueWait:  queueWait,
-		grace:      grace,
-		captureSem: make(chan struct{}, maxCap),
-		tel:        tel,
-		met:        newServerMetrics(tel),
-		traces:     telemetry.NewTraceLog(traceCapacity),
-		conns:      make(map[net.Conn]struct{}),
+		logf:        logf,
+		readTO:      opts.ReadTimeout,
+		writeTO:     opts.WriteTimeout,
+		requestTO:   opts.RequestTimeout,
+		queueWait:   queueWait,
+		captureHold: opts.CaptureHold,
+		grace:       grace,
+		captureSem:  make(chan struct{}, maxCap),
+		tel:         tel,
+		met:         newServerMetrics(tel),
+		traces:      telemetry.NewTraceLog(traceCapacity),
+		conns:       make(map[net.Conn]struct{}),
 	}
 }
 
@@ -154,7 +166,22 @@ func (s *Server) Traces() *telemetry.TraceLog { return s.traces }
 
 // Close stops the background retrain worker, cancelling any in-flight
 // train. In-flight connections are not interrupted.
-func (s *Server) Close() { s.reg.Close() }
+func (s *Server) Close() {
+	s.stopping.Store(true)
+	s.reg.Close()
+}
+
+// Healthy reports whether the daemon should receive traffic; it is the
+// Health hook for the admin listener's /healthz, which the cluster
+// router's prober polls. A shutting-down daemon answers unhealthy the
+// moment cancellation is observed — before the connection drain finishes
+// — so routers stop sending new work while in-flight requests complete.
+func (s *Server) Healthy() error {
+	if s.stopping.Load() {
+		return fmt.Errorf("daemon: shutting down")
+	}
+	return nil
+}
 
 // Serve accepts connections until the context is cancelled or the
 // listener fails. On cancellation it closes the listener, lets in-flight
@@ -169,6 +196,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	go func() {
 		select {
 		case <-ctx.Done():
+			s.stopping.Store(true)
 			ln.Close()
 		case <-done:
 		}
@@ -450,6 +478,17 @@ func (s *Server) process(ctx context.Context, wire *proto.CaptureWire, rec core.
 		}
 	}
 	defer func() { <-s.captureSem }()
+	if s.captureHold > 0 {
+		// Model the on-device acquisition time inside the slot (see
+		// Options.CaptureHold). Cancellation still wins.
+		timer := time.NewTimer(s.captureHold)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, coded(proto.CodeUnavailable, fmt.Errorf("request cancelled: %w", ctx.Err()))
+		}
+	}
 	cap := &core.Capture{Beeps: wire.Beeps, SampleRate: wire.SampleRate, Reference: wire.Reference}
 	res, err := s.sys.ProcessRecordedContext(ctx, cap, wire.NoiseOnly, rec)
 	if err != nil {

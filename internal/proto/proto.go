@@ -75,9 +75,16 @@ type Envelope struct {
 	Version int `json:"version,omitempty"`
 	// RequestID is an opaque client-chosen correlation token, echoed
 	// verbatim in the response to this request.
-	RequestID string          `json:"request_id,omitempty"`
-	Type      MsgType         `json:"type"`
-	Body      json.RawMessage `json:"body,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
+	// User is an optional routing hint naming the subject user of the
+	// request. It lets echoimage-router pick the owning shard from the
+	// envelope alone — without decoding a multi-megabyte capture body —
+	// and is what routes requests (retrain, model_info) whose bodies
+	// carry no user at all. The daemon ignores it; 0 (field absent)
+	// keeps v1 and unrouted v2 frames byte-identical.
+	User int             `json:"user,omitempty"`
+	Type MsgType         `json:"type"`
+	Body json.RawMessage `json:"body,omitempty"`
 }
 
 // NewEnvelope marshals body into a v2 envelope carrying the given

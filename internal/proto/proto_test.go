@@ -219,6 +219,50 @@ func TestV1V2EnvelopeCompat(t *testing.T) {
 	}
 }
 
+// TestRouteHintCompat pins the envelope routing hint: a zero User keeps
+// frames byte-identical to pre-router v2 (and v1) wire format, a set
+// User round-trips, and the hint never leaks into response shaping —
+// it is a request-side field the router consumes and daemons ignore.
+func TestRouteHintCompat(t *testing.T) {
+	// Unrouted v2 frame: no "user" key on the wire.
+	var buf bytes.Buffer
+	env, err := NewEnvelope(TypeStatusRequest, "r-1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEnvelope(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes()[4:], []byte(`"user"`)) {
+		t.Errorf("unrouted frame leaks routing hint: %s", buf.Bytes()[4:])
+	}
+
+	// Routed frame: the hint survives framing, body untouched.
+	buf.Reset()
+	env, err = NewEnvelope(TypeAuthRequest, "r-2", AuthRequest{Capture: CaptureWire{SampleRate: 48000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.User = 7
+	if err := WriteEnvelope(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.User != 7 || got.RequestID != "r-2" || got.Version != Version {
+		t.Errorf("routed frame decoded as %+v", got)
+	}
+	var req AuthRequest
+	if err := DecodeBody(got, &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Capture.SampleRate != 48000 {
+		t.Errorf("routed body lost fields: %+v", req)
+	}
+}
+
 // TestUnknownTypePassesFraming documents the layering contract: framing
 // is transparent to message types — rejection of unknown types is the
 // daemon's job (answered in-band with CodeUnknownType), not the codec's.

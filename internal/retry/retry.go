@@ -1,0 +1,90 @@
+// Package retry is the module's single retry/backoff policy: exponential
+// delays with jitter, applied to operations whose failures a caller can
+// classify as transient. It exists so the client CLI, the router's
+// upstream failover and the load generator share one policy (and one
+// test) instead of three drifting copies of the same loop.
+//
+// The package is deliberately transport-agnostic: it never inspects
+// errors itself. Callers supply a predicate (typically wrapping
+// proto.RetryableCode) so the policy stays reusable outside the wire
+// protocol.
+package retry
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Policy configures the loop. The zero value never retries.
+type Policy struct {
+	// Attempts is how many retries follow the first try; 0 means the
+	// operation runs exactly once.
+	Attempts int
+	// Base is the delay before the first retry; each further retry
+	// doubles it. A zero Base retries immediately.
+	Base time.Duration
+	// Cap bounds the exponential growth. 0 means no bound.
+	Cap time.Duration
+}
+
+// Delay returns the backoff before retry n (1-based): exponential from
+// Base, bounded by Cap, plus up to 50% random jitter so simultaneously
+// refused clients don't stampede back in lockstep.
+func (p Policy) Delay(n int) time.Duration {
+	if p.Base <= 0 {
+		return 0
+	}
+	d := p.Base << (n - 1)
+	if d <= 0 || (p.Cap > 0 && d > p.Cap) {
+		// Shift overflow or past the ceiling: clamp to Cap, or back to
+		// Base when no ceiling was configured.
+		if p.Cap > 0 {
+			d = p.Cap
+		} else {
+			d = p.Base
+		}
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// Do runs op under the policy: failures for which retryable returns true
+// are retried after Delay, up to Attempts times; the first success,
+// non-retryable failure, exhausted budget or context cancellation ends
+// the loop. It returns the last error (never ctx.Err alone: if the
+// context dies during a backoff sleep, the error that caused the sleep
+// is what the caller sees). notify, when non-nil, observes each retry
+// decision — attempt number (1-based), the failure and the chosen delay
+// — for logging.
+func Do(ctx context.Context, p Policy, retryable func(error) bool, op func() error, notify func(n int, err error, delay time.Duration)) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = op()
+		if err == nil || attempt >= p.Attempts || !retryable(err) {
+			return err
+		}
+		delay := p.Delay(attempt + 1)
+		if notify != nil {
+			notify(attempt+1, err, delay)
+		}
+		if !sleep(ctx, delay) {
+			return err
+		}
+	}
+}
+
+// sleep waits for d or the context, reporting whether the full wait
+// elapsed.
+func sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,117 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+var errTransient = errors.New("transient")
+var errPermanent = errors.New("permanent")
+
+func isTransient(err error) bool { return errors.Is(err, errTransient) }
+
+// TestDelayBounds pins the policy's shape: exponential growth from Base,
+// the Cap ceiling, and jitter within [d, 1.5d].
+func TestDelayBounds(t *testing.T) {
+	p := Policy{Attempts: 10, Base: 100 * time.Millisecond, Cap: time.Second}
+	for n := 1; n <= 8; n++ {
+		want := p.Base << (n - 1)
+		if want > p.Cap {
+			want = p.Cap
+		}
+		for i := 0; i < 50; i++ {
+			d := p.Delay(n)
+			if d < want || d > want+want/2 {
+				t.Fatalf("Delay(%d) = %v outside [%v, %v]", n, d, want, want+want/2)
+			}
+		}
+	}
+	if d := (Policy{}).Delay(1); d != 0 {
+		t.Errorf("zero policy Delay = %v, want 0", d)
+	}
+	// A shift past the int64 range must clamp to Cap, not go negative.
+	big := Policy{Base: time.Hour, Cap: 2 * time.Hour}
+	if d := big.Delay(60); d < big.Cap || d > big.Cap+big.Cap/2 {
+		t.Errorf("overflowed Delay = %v, want clamped near %v", d, big.Cap)
+	}
+}
+
+func TestDoRetriesOnlyTransient(t *testing.T) {
+	ctx := context.Background()
+	p := Policy{Attempts: 3, Base: time.Microsecond, Cap: time.Millisecond}
+
+	calls := 0
+	err := Do(ctx, p, isTransient, func() error { calls++; return errTransient }, nil)
+	if !errors.Is(err, errTransient) || calls != 4 {
+		t.Errorf("transient: err=%v calls=%d, want budget exhausted after 4 calls", err, calls)
+	}
+
+	calls = 0
+	err = Do(ctx, p, isTransient, func() error { calls++; return errPermanent }, nil)
+	if !errors.Is(err, errPermanent) || calls != 1 {
+		t.Errorf("permanent: err=%v calls=%d, want fail fast after 1 call", err, calls)
+	}
+
+	calls = 0
+	err = Do(ctx, p, isTransient, func() error {
+		calls++
+		if calls < 3 {
+			return errTransient
+		}
+		return nil
+	}, nil)
+	if err != nil || calls != 3 {
+		t.Errorf("recovery: err=%v calls=%d, want success on 3rd call", err, calls)
+	}
+
+	// Zero policy: exactly one call even for transient failures.
+	calls = 0
+	err = Do(ctx, Policy{}, isTransient, func() error { calls++; return errTransient }, nil)
+	if !errors.Is(err, errTransient) || calls != 1 {
+		t.Errorf("zero policy: err=%v calls=%d, want single call", err, calls)
+	}
+}
+
+// TestDoContextCancelled proves cancellation during backoff surfaces the
+// operation's error, not the bare context error, and stops the loop.
+func TestDoContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{Attempts: 5, Base: time.Hour, Cap: time.Hour}
+	calls := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- Do(ctx, p, isTransient, func() error { calls++; return errTransient }, nil)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, errTransient) {
+			t.Errorf("err = %v, want the transient failure", err)
+		}
+		if calls != 1 {
+			t.Errorf("calls = %d, want 1 (cancelled during first backoff)", calls)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not observe cancellation during backoff")
+	}
+}
+
+// TestDoNotify pins the observer contract: one notification per retry,
+// carrying the 1-based attempt and the failure being retried.
+func TestDoNotify(t *testing.T) {
+	p := Policy{Attempts: 2, Base: time.Microsecond}
+	var seen []int
+	Do(context.Background(), p, isTransient, func() error { return errTransient },
+		func(n int, err error, d time.Duration) {
+			if !errors.Is(err, errTransient) {
+				t.Errorf("notify err = %v", err)
+			}
+			seen = append(seen, n)
+		})
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Errorf("notifications = %v, want [1 2]", seen)
+	}
+}
