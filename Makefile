@@ -60,37 +60,67 @@ telemetry-smoke:
 	kill $$pid; wait $$pid 2>/dev/null; \
 	echo "telemetry-smoke: ok"
 
-# Boot a two-shard cluster behind echoimage-router and drive it with an
-# open-loop loadgen burst: enroll, per-shard retrain, then Poisson
-# arrivals. Asserts zero non-retryable errors and a sane p99 (generous —
+# Boot a three-shard cluster behind echoimage-router, enroll a roster
+# under an open-loop loadgen burst, then drain and remove a shard while
+# auth traffic keeps flowing: proves lossless shard removal end to end on
+# real processes, not just under the in-package fakes. Asserts zero
+# non-retryable errors and a sane p99 on the enrollment burst (generous —
 # CI hardware is slow and shared; the regression gate proper runs via
-# bench-report against BENCH_8.json), and that the admin control surface
-# reports both shards active. Proves the routed path end to end on real
-# processes, not just under the in-package fakes.
+# bench-report against BENCH_8.json), that the drain handoff reports
+# complete on /cluster/rebalance, that remove succeeds without force,
+# that the load running across the drain+remove saw zero non-retryable
+# errors, that every enrolled user still authenticates as themselves
+# afterwards (loadgen -verify: the zero-lost-user assertion), and that
+# the drained shard flushed its users' state durably before handing off.
 cluster-smoke:
 	$(GO) build -o /tmp/echoimaged-cs ./cmd/echoimaged
 	$(GO) build -o /tmp/echoimage-router-cs ./cmd/echoimage-router
 	$(GO) build -o /tmp/echoimage-loadgen-cs ./cmd/echoimage-loadgen
-	@/tmp/echoimaged-cs -listen 127.0.0.1:17475 -admin-addr 127.0.0.1:18475 -grid 24 & p1=$$!; \
-	/tmp/echoimaged-cs -listen 127.0.0.1:17476 -admin-addr 127.0.0.1:18476 -grid 24 & p2=$$!; \
+	@sd0=$$(mktemp -d); sd1=$$(mktemp -d); sd2=$$(mktemp -d); \
+	/tmp/echoimaged-cs -listen 127.0.0.1:17475 -admin-addr 127.0.0.1:18475 -grid 24 -state-dir $$sd0 & p1=$$!; \
+	/tmp/echoimaged-cs -listen 127.0.0.1:17476 -admin-addr 127.0.0.1:18476 -grid 24 -state-dir $$sd1 & p2=$$!; \
+	/tmp/echoimaged-cs -listen 127.0.0.1:17477 -admin-addr 127.0.0.1:18477 -grid 24 -state-dir $$sd2 & p3=$$!; \
 	/tmp/echoimage-router-cs -listen 127.0.0.1:17464 -admin-addr 127.0.0.1:18464 \
 		-shard s0=127.0.0.1:17475,127.0.0.1:18475 \
-		-shard s1=127.0.0.1:17476,127.0.0.1:18476 & p3=$$!; \
-	trap 'kill $$p1 $$p2 $$p3 2>/dev/null' EXIT; \
+		-shard s1=127.0.0.1:17476,127.0.0.1:18476 \
+		-shard s2=127.0.0.1:17477,127.0.0.1:18477 & p4=$$!; \
+	trap 'kill $$p1 $$p2 $$p3 $$p4 2>/dev/null' EXIT; \
 	ok=0; \
 	for i in $$(seq 1 50); do \
 		if curl -fsS http://127.0.0.1:18464/healthz >/dev/null 2>&1; then ok=1; break; fi; \
 		sleep 0.1; \
 	done; \
 	[ $$ok -eq 1 ] || { echo "cluster-smoke: router /healthz never answered" >&2; exit 1; }; \
-	/tmp/echoimage-loadgen-cs -addr 127.0.0.1:17464 -enroll -users 2 -enroll-images 2 -beeps 4 \
+	/tmp/echoimage-loadgen-cs -addr 127.0.0.1:17464 -enroll -users 4 -enroll-images 3 -beeps 6 \
 		-rate 3 -duration 5s -max-nonretryable 0 -max-p99 10s \
 		|| { echo "cluster-smoke: loadgen assertions failed" >&2; exit 1; }; \
 	curl -fsS http://127.0.0.1:18464/cluster/shards | grep '"state": "active"' >/dev/null \
 		|| { echo "cluster-smoke: shards not active on admin surface" >&2; exit 1; }; \
-	curl -fsS http://127.0.0.1:18464/metrics | grep '^echoimage_router_requests_total' >/dev/null \
-		|| { echo "cluster-smoke: /metrics missing router series" >&2; exit 1; }; \
-	kill $$p1 $$p2 $$p3; wait $$p1 $$p2 $$p3 2>/dev/null; \
+	/tmp/echoimage-loadgen-cs -addr 127.0.0.1:17464 -users 4 -beeps 4 \
+		-rate 5 -duration 20s -max-nonretryable 0 >/tmp/cluster-smoke-bg.log 2>&1 & lg=$$!; \
+	curl -fsS -X POST -d '{"action":"drain","id":"s1"}' http://127.0.0.1:18464/cluster/shards >/dev/null \
+		|| { echo "cluster-smoke: drain refused" >&2; exit 1; }; \
+	done_=0; \
+	for i in $$(seq 1 120); do \
+		if curl -fsS http://127.0.0.1:18464/cluster/rebalance | grep -q '"status": "complete"'; then done_=1; break; fi; \
+		sleep 0.5; \
+	done; \
+	[ $$done_ -eq 1 ] || { echo "cluster-smoke: drain handoff never completed" >&2; \
+		curl -fsS http://127.0.0.1:18464/cluster/rebalance >&2; exit 1; }; \
+	curl -fsS -X POST -d '{"action":"remove","id":"s1"}' http://127.0.0.1:18464/cluster/shards >/dev/null \
+		|| { echo "cluster-smoke: remove refused after completed handoff" >&2; exit 1; }; \
+	wait $$lg || { echo "cluster-smoke: load across drain+remove failed assertions" >&2; \
+		cat /tmp/cluster-smoke-bg.log >&2; exit 1; }; \
+	/tmp/echoimage-loadgen-cs -addr 127.0.0.1:17464 -users 4 -beeps 6 -duration 0 -verify \
+		|| { echo "cluster-smoke: users lost after drain+remove" >&2; exit 1; }; \
+	ls $$sd1/user-*.json >/dev/null 2>&1 \
+		|| { echo "cluster-smoke: drained shard flushed no user state" >&2; exit 1; }; \
+	if curl -fsS http://127.0.0.1:18464/cluster/shards | grep -q '"id": "s1"'; then \
+		echo "cluster-smoke: removed shard still on admin surface" >&2; exit 1; fi; \
+	curl -fsS http://127.0.0.1:18464/metrics | grep -q '^echoimage_router_handoff_users_total [1-9]' \
+		|| { echo "cluster-smoke: handoff moved no users" >&2; exit 1; }; \
+	kill $$p1 $$p2 $$p3 $$p4; wait $$p1 $$p2 $$p3 $$p4 2>/dev/null; \
+	rm -rf $$sd0 $$sd1 $$sd2; \
 	echo "cluster-smoke: ok"
 
 # Short fuzz run over the protocol frame reader: proves Read never

@@ -176,8 +176,12 @@ func run() error {
 		}); err != nil {
 			return err
 		}
-		fmt.Printf("trained=%v model=v%d users=%v images=%d\n",
-			resp.Trained, resp.ModelVersion, resp.Users, resp.TotalImages)
+		degraded := ""
+		if resp.Degraded {
+			degraded = " [DEGRADED: view excludes unreachable shards]"
+		}
+		fmt.Printf("trained=%v model=v%d users=%v images=%d%s\n",
+			resp.Trained, resp.ModelVersion, resp.Users, resp.TotalImages, degraded)
 		return nil
 	case "info":
 		var resp proto.ModelInfoResponse
@@ -201,6 +205,9 @@ func run() error {
 			if resp.IdentifyMode != "" {
 				fmt.Printf("identification: %s (%d indexed vectors)\n", resp.IdentifyMode, resp.IndexSize)
 			}
+		}
+		if resp.Degraded {
+			fmt.Println("DEGRADED: view excludes unreachable shards")
 		}
 		if resp.LastError != "" {
 			fmt.Printf("last train error: %s\n", resp.LastError)

@@ -64,6 +64,8 @@ func run() error {
 	appendRun := flag.Bool("append", false, "append the run to an existing report instead of overwriting")
 	maxP99 := flag.Duration("max-p99", 0, "exit non-zero when auth p99 exceeds this (0 = no assertion)")
 	maxNonRetryable := flag.Int("max-nonretryable", -1, "exit non-zero when non-retryable errors exceed this (-1 = no assertion)")
+	verify := flag.Bool("verify", false, "after the load phase, authenticate every user once and exit non-zero unless each is accepted as themselves (zero-lost-user assertion; -duration 0 makes this a pure verify run)")
+	verifyRetries := flag.Int("verify-retries", 10, "per-user attempts for -verify, backing off between them (a shard may still be converging after a handoff)")
 	flag.Parse()
 	if *users < 1 || *users > len(echoimage.Roster()) {
 		return fmt.Errorf("-users %d outside roster 1-%d", *users, len(echoimage.Roster()))
@@ -240,9 +242,67 @@ func run() error {
 	if *maxP99 > 0 && completed > 0 && time.Duration(percentile(latencies, 0.99)) > *maxP99 {
 		return fmt.Errorf("auth p99 %v exceeds %v", time.Duration(percentile(latencies, 0.99)), *maxP99)
 	}
-	if completed == 0 {
+	if completed == 0 && *duration > 0 {
 		return fmt.Errorf("no requests completed")
 	}
+	if *verify {
+		if err := verifyAll(pool, *users, authBodies, *verifyRetries); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyAll asserts zero lost users: every replayed user must
+// authenticate as themselves. Each user gets up to retries attempts with
+// backoff — after a shard handoff the successor may still be retraining,
+// which surfaces as a retryable refusal or a rejection until the model
+// converges. A user that never authenticates is reported as lost.
+func verifyAll(pool *connPool, users int, authBodies [][]byte, retries int) error {
+	fmt.Fprintf(os.Stderr, "verifying %d users authenticate...\n", users)
+	if retries < 1 {
+		retries = 1
+	}
+	var lost []int
+	for u := 1; u <= users; u++ {
+		ok := false
+		var last string
+		for attempt := 0; attempt < retries && !ok; attempt++ {
+			if attempt > 0 {
+				time.Sleep(500 * time.Millisecond)
+			}
+			resp, err := pool.roundTrip(proto.TypeAuthRequest, u,
+				fmt.Sprintf("lg-verify-%d-%d", u, attempt), authBodies[u])
+			if err != nil {
+				last = err.Error()
+				continue
+			}
+			if resp.Type == proto.TypeError {
+				last = errText(resp)
+				continue
+			}
+			var a proto.AuthResponse
+			if derr := proto.DecodeBody(resp, &a); derr != nil {
+				last = derr.Error()
+				continue
+			}
+			if a.Accepted && a.UserID == u {
+				ok = true
+			} else {
+				last = fmt.Sprintf("rejected (accepted=%v id=%d)", a.Accepted, a.UserID)
+			}
+		}
+		if !ok {
+			lost = append(lost, u)
+			fmt.Fprintf(os.Stderr, "verify: user %d LOST after %d attempts: %s\n", u, retries, last)
+		} else {
+			fmt.Fprintf(os.Stderr, "verify: user %d ok\n", u)
+		}
+	}
+	if len(lost) > 0 {
+		return fmt.Errorf("verify: %d of %d users lost: %v", len(lost), users, lost)
+	}
+	fmt.Printf("verify: all %d users authenticate\n", users)
 	return nil
 }
 

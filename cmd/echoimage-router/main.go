@@ -20,10 +20,14 @@
 // answering. The router's own -admin-addr serves the observability
 // endpoints plus the cluster control surface:
 //
-//	GET  /cluster/shards   membership with derived states
-//	POST /cluster/shards   {"action":"add"|"drain"|"remove", "id":..., "addr":...}
+//	GET  /cluster/shards     membership with derived states
+//	POST /cluster/shards     {"action":"add"|"drain"|"remove", "id":..., "addr":..., "force":...}
+//	GET  /cluster/rebalance  per-shard ownership and drain handoff progress
 //
-// so shards can be added and drained at runtime without restarting.
+// so shards can be added, drained and removed at runtime without
+// restarting. Draining starts a background handoff that moves the
+// shard's users to their ring successors; remove is refused until the
+// handoff completes (override with "force":true, losing the users).
 package main
 
 import (
@@ -106,6 +110,7 @@ func run() error {
 		Telemetry:       telemetry.NewRegistry(),
 		Logf:            log.Printf,
 	})
+	defer r.Close()
 	for _, s := range shards {
 		if err := r.AddShard(s.id, s.addr, s.adminAddr); err != nil {
 			return err
@@ -151,7 +156,7 @@ func run() error {
 			}
 		}()
 		defer admin.Close()
-		log.Printf("admin endpoints on http://%s (/metrics /varz /healthz /cluster/shards /debug/pprof)", adminLn.Addr())
+		log.Printf("admin endpoints on http://%s (/metrics /varz /healthz /cluster/shards /cluster/rebalance /debug/pprof)", adminLn.Addr())
 	}
 
 	if err := r.Serve(ctx, ln); err != nil {

@@ -45,6 +45,7 @@ func run() error {
 	gridSize := flag.Int("grid", 36, "imaging grid rows/cols")
 	spacing := flag.Float64("spacing", 0.05, "imaging grid spacing, meters")
 	modelPath := flag.String("model", "", "model file: loaded at startup if present, saved after every retrain")
+	stateDir := flag.String("state-dir", "", "per-user state directory: handoff flushes write user blobs here and startup restores them (empty = no shard-local persistence)")
 	maxCaptures := flag.Int("max-captures", 0, "max concurrently processed captures (0 = GOMAXPROCS)")
 	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "drop a connection idle for this long (0 = never)")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "per-response write deadline (0 = none)")
@@ -73,6 +74,7 @@ func run() error {
 	defer stop()
 	srv := daemon.NewWithOptions(sys, core.DefaultAuthConfig(), log.Printf, daemon.Options{
 		ModelPath:      *modelPath,
+		StateDir:       *stateDir,
 		MaxCaptures:    *maxCaptures,
 		ReadTimeout:    *idleTimeout,
 		WriteTimeout:   *writeTimeout,
@@ -105,6 +107,17 @@ func run() error {
 		}()
 		defer admin.Close()
 		log.Printf("admin endpoints on http://%s (/metrics /varz /healthz /debug/pprof)", adminLn.Addr())
+	}
+	if *stateDir != "" {
+		restored, rerr := srv.RestoreState()
+		if rerr != nil {
+			// Partial restores keep serving: report the broken blobs, run
+			// with everything that loaded.
+			log.Printf("state restore from %s: %v", *stateDir, rerr)
+		}
+		if restored > 0 {
+			log.Printf("restored %d users from %s (retrain queued)", restored, *stateDir)
+		}
 	}
 	if *modelPath != "" {
 		if f, err := os.Open(*modelPath); err == nil {

@@ -11,18 +11,25 @@ import (
 //	{"action":"add","id":"s3","addr":"10.0.0.3:7465","admin_addr":"10.0.0.3:7466"}
 //	{"action":"drain","id":"s3"}
 //	{"action":"remove","id":"s3"}
+//	{"action":"remove","id":"s3","force":true}
+//
+// remove refuses unless the shard's drain handoff completed; force
+// overrides that gate (accepting the loss of any users still on the
+// shard — the escape hatch for a dead shard that cannot hand off).
 type ShardCommand struct {
 	Action    string `json:"action"`
 	ID        string `json:"id"`
 	Addr      string `json:"addr,omitempty"`
 	AdminAddr string `json:"admin_addr,omitempty"`
+	Force     bool   `json:"force,omitempty"`
 }
 
 // AdminHandler wraps a base observability handler (telemetry's /metrics,
 // /varz, /healthz, pprof) with the cluster control surface:
 //
-//	GET  /cluster/shards   current membership with states, as JSON
-//	POST /cluster/shards   apply a ShardCommand (add/drain/remove)
+//	GET  /cluster/shards     current membership with states, as JSON
+//	POST /cluster/shards     apply a ShardCommand (add/drain/remove)
+//	GET  /cluster/rebalance  per-shard ownership + drain handoff progress
 //
 // Everything else falls through to base.
 func AdminHandler(r *Router, base http.Handler) http.Handler {
@@ -44,7 +51,7 @@ func AdminHandler(r *Router, base http.Handler) http.Handler {
 			case "drain":
 				err = r.DrainShard(cmd.ID)
 			case "remove":
-				err = r.RemoveShard(cmd.ID)
+				err = r.RemoveShard(cmd.ID, cmd.Force)
 			default:
 				http.Error(w, "unknown action "+cmd.Action+" (want add, drain or remove)", http.StatusBadRequest)
 				return
@@ -57,6 +64,17 @@ func AdminHandler(r *Router, base http.Handler) http.Handler {
 		default:
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		}
+	})
+	mux.HandleFunc("/cluster/rebalance", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		report := r.Rebalance(req.Context())
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(report)
 	})
 	if base != nil {
 		mux.Handle("/", base)

@@ -17,6 +17,12 @@ type routerMetrics struct {
 	connsTotal  *telemetry.Counter
 	inflight    *telemetry.Gauge
 	failovers   *telemetry.Counter
+	redials     *telemetry.Counter
+
+	partialFanouts  *telemetry.Counter
+	handoffUsers    *telemetry.Counter
+	handoffFailures *telemetry.Counter
+	handoffsActive  *telemetry.Gauge
 
 	ringActive   *telemetry.Gauge
 	ringDraining *telemetry.Gauge
@@ -70,6 +76,16 @@ func newRouterMetrics(tel *telemetry.Registry) *routerMetrics {
 			"Requests currently being routed."),
 		failovers: tel.Counter("echoimage_router_failovers_total",
 			"Requests retried on a later ring candidate after a retryable shard failure."),
+		redials: tel.Counter("echoimage_router_redials_total",
+			"Round trips retried on a fresh connection to the same shard after a reused pooled connection failed."),
+		partialFanouts: tel.Counter("echoimage_router_partial_fanouts_total",
+			"Read fan-outs (status/model_info) answered degraded because a member shard was down or failed."),
+		handoffUsers: tel.Counter("echoimage_router_handoff_users_total",
+			"Users successfully handed off from a draining shard to its ring successor."),
+		handoffFailures: tel.Counter("echoimage_router_handoff_user_failures_total",
+			"Per-user handoff attempts that failed (the drain reports failed until a re-drain succeeds)."),
+		handoffsActive: tel.Gauge("echoimage_router_handoffs_active",
+			"Drain handoff pipelines currently running."),
 		ringActive: tel.Gauge("echoimage_router_ring_shards",
 			"Ring membership by serving state.", telemetry.L("state", string(StateActive))),
 		ringDraining: tel.Gauge("echoimage_router_ring_shards",

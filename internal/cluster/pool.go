@@ -47,20 +47,30 @@ func newPool(addr string, dialTO time.Duration, maxIdle int) *pool {
 }
 
 // get pops a pooled connection or dials a new one under the context and
-// the pool's dial timeout.
-func (p *pool) get(ctx context.Context) (*upstream, error) {
+// the pool's dial timeout. reused distinguishes the two: a pooled
+// connection may have been closed by the daemon while idle, so its first
+// failure indicts the connection, not the shard — the router redials once
+// before treating the shard as failed.
+func (p *pool) get(ctx context.Context) (u *upstream, reused bool, err error) {
 	p.mu.Lock()
 	if n := len(p.free); n > 0 {
 		u := p.free[n-1]
 		p.free = p.free[:n-1]
 		p.mu.Unlock()
-		return u, nil
+		return u, true, nil
 	}
 	closed := p.closed
 	p.mu.Unlock()
 	if closed {
-		return nil, fmt.Errorf("cluster: pool for %s is closed", p.addr)
+		return nil, false, fmt.Errorf("cluster: pool for %s is closed", p.addr)
 	}
+	u, err = p.dial(ctx)
+	return u, false, err
+}
+
+// dial opens a fresh connection, bypassing the free list (which may hold
+// more connections gone stale the same way).
+func (p *pool) dial(ctx context.Context) (*upstream, error) {
 	d := net.Dialer{Timeout: p.dialTO}
 	conn, err := d.DialContext(ctx, "tcp", p.addr)
 	if err != nil {

@@ -86,6 +86,34 @@ func (r *Ring) Candidates(user int, n int) []string {
 	return out
 }
 
+// OwnedFractions returns each shard's share of the hash keyspace: the
+// exact fraction of the 2^64 circle whose keys it owns, summed from its
+// vnode arc lengths. Shares sum to 1 (up to float rounding).
+func (r *Ring) OwnedFractions() map[string]float64 {
+	out := make(map[string]float64, r.shards)
+	n := len(r.points)
+	if n == 0 {
+		return out
+	}
+	if r.shards == 1 {
+		// A lone shard owns the whole circle; the arc sum below would wrap
+		// to zero modulo 2^64.
+		out[r.points[0].shard] = 1
+		return out
+	}
+	arcs := make(map[string]uint64, r.shards)
+	for i := 0; i < n; i++ {
+		// Keys in (prev.hash, points[i].hash] belong to points[i].shard;
+		// uint64 subtraction wraps correctly across the top of the circle.
+		prev := r.points[(i+n-1)%n].hash
+		arcs[r.points[i].shard] += r.points[i].hash - prev
+	}
+	for id, arc := range arcs {
+		out[id] = float64(arc) / (1 << 64)
+	}
+	return out
+}
+
 // locate finds the index of the first ring point at or after the user's
 // hash, wrapping past the top of the circle.
 func (r *Ring) locate(user int) int {

@@ -61,6 +61,97 @@ func TestRingBalance(t *testing.T) {
 	}
 }
 
+// TestRingSuccessorMatchesHandoff pins the contract the drain pipeline
+// leans on: for any membership and any removed shard, every user owned
+// by the removed shard maps on the post-removal ring to exactly the
+// shard the handoff delivers to — the user's first surviving failover
+// candidate on the pre-removal ring. If these ever diverged, a drain
+// would park users on one shard while the shrunk ring routes their
+// authentications to another.
+func TestRingSuccessorMatchesHandoff(t *testing.T) {
+	memberships := [][]string{
+		{"s0", "s1"},
+		{"s0", "s1", "s2"},
+		{"s0", "s1", "s2", "s3"},
+		{"alpha", "beta", "gamma", "delta", "epsilon"},
+		{"shard-a", "shard-b", "shard-c", "shard-d", "shard-e", "shard-f", "shard-g"},
+	}
+	for _, ids := range memberships {
+		pre := BuildRing(ids, 0)
+		for _, removed := range ids {
+			post := BuildRing(without(ids, removed), 0)
+			moved := 0
+			for user := 1; user <= 2000; user++ {
+				owner := pre.Owner(user)
+				successor := post.Owner(user)
+				if owner != removed {
+					if successor != owner {
+						t.Fatalf("%v minus %s: user %d moved %s → %s though its shard survived",
+							ids, removed, user, owner, successor)
+					}
+					continue
+				}
+				moved++
+				if successor == removed {
+					t.Fatalf("%v minus %s: user %d still owned by the removed shard", ids, removed, user)
+				}
+				// The handoff target (first surviving pre-ring candidate)
+				// must be the post-ring owner.
+				var handoffTo string
+				for _, cand := range pre.Candidates(user, len(ids)) {
+					if cand != removed {
+						handoffTo = cand
+						break
+					}
+				}
+				if successor != handoffTo {
+					t.Errorf("%v minus %s: user %d handed off to %s but post-ring owner is %s",
+						ids, removed, user, handoffTo, successor)
+				}
+			}
+			if moved == 0 {
+				t.Errorf("%v minus %s: vacuous — removed shard owned no users", ids, removed)
+			}
+		}
+	}
+}
+
+// TestRingOwnedFractions checks the keyspace-share arithmetic the
+// rebalance report publishes: shares sum to 1 and roughly match the
+// empirical ownership distribution.
+func TestRingOwnedFractions(t *testing.T) {
+	ids := []string{"s0", "s1", "s2", "s3"}
+	r := BuildRing(ids, 0)
+	fr := r.OwnedFractions()
+	var sum float64
+	for _, id := range ids {
+		if fr[id] <= 0 {
+			t.Errorf("shard %s owns fraction %v", id, fr[id])
+		}
+		sum += fr[id]
+	}
+	if sum < 0.999999 || sum > 1.000001 {
+		t.Errorf("fractions sum to %v, want 1", sum)
+	}
+	counts := map[string]int{}
+	const users = 20000
+	for user := 1; user <= users; user++ {
+		counts[r.Owner(user)]++
+	}
+	for _, id := range ids {
+		emp := float64(counts[id]) / users
+		if diff := emp - fr[id]; diff > 0.02 || diff < -0.02 {
+			t.Errorf("shard %s: empirical share %.3f vs arc share %.3f", id, emp, fr[id])
+		}
+	}
+	if single := BuildRing([]string{"only"}, 0).OwnedFractions(); single["only"] != 1 {
+		t.Errorf("single-shard fraction %v, want 1", single["only"])
+	}
+	if empty := BuildRing(nil, 0).OwnedFractions(); len(empty) != 0 {
+		t.Errorf("empty ring fractions %v", empty)
+	}
+}
+
 // TestRingRemovalStability pins the consistent-hashing property the
 // whole design leans on: removing one shard reassigns only the users it
 // owned — everyone else keeps their shard (and their models).

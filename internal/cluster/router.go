@@ -72,8 +72,17 @@ type Router struct {
 
 	ring atomic.Pointer[Ring]
 
+	// lifeCtx is the router's lifetime: drain handoff pipelines run under
+	// it (they outlive the admin request that triggers them) and Close
+	// cancels it.
+	lifeCtx context.Context
+	stop    context.CancelFunc
+
 	poolMu sync.Mutex
 	pools  map[string]*pool
+
+	hoMu     sync.Mutex
+	handoffs map[string]*Handoff
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -100,16 +109,36 @@ func New(opts Options) *Router {
 		opts.Retry.Attempts = opts.Candidates - 1
 	}
 	r := &Router{
-		table: NewTable(),
-		opts:  opts,
-		logf:  logf,
-		tel:   tel,
-		met:   newRouterMetrics(tel),
-		pools: make(map[string]*pool),
-		conns: make(map[net.Conn]struct{}),
+		table:    NewTable(),
+		opts:     opts,
+		logf:     logf,
+		tel:      tel,
+		met:      newRouterMetrics(tel),
+		pools:    make(map[string]*pool),
+		handoffs: make(map[string]*Handoff),
+		conns:    make(map[net.Conn]struct{}),
 	}
+	//echoimage:lint-ignore ctxdiscipline drain handoffs are rooted at the router's lifetime, not a request: they outlive the admin POST that starts them and stop on Close
+	r.lifeCtx, r.stop = context.WithCancel(context.Background())
 	r.ring.Store(BuildRing(nil, opts.Vnodes))
 	return r
+}
+
+// Close cancels the router's background work (drain handoff pipelines)
+// and closes every idle upstream connection. Client connections being
+// served are not interrupted; Serve's own shutdown handles those.
+func (r *Router) Close() {
+	r.stop()
+	r.poolMu.Lock()
+	pools := make([]*pool, 0, len(r.pools))
+	for _, p := range r.pools {
+		pools = append(pools, p)
+	}
+	r.pools = make(map[string]*pool)
+	r.poolMu.Unlock()
+	for _, p := range pools {
+		p.closeAll()
+	}
 }
 
 // Table exposes the shard table (prober, admin surface, tests).
@@ -128,20 +157,34 @@ func (r *Router) AddShard(id, addr, adminAddr string) error {
 	return nil
 }
 
-// DrainShard marks a shard draining: no new captures, in-flight requests
-// complete. The ring is untouched — ownership moves only on Remove.
+// DrainShard marks a shard draining — no new captures, in-flight
+// requests complete — and starts its handoff pipeline: the shard's users
+// are flushed and streamed to their post-removal ring successors in the
+// background (progress on the admin rebalance surface). The ring is
+// untouched — ownership moves only on Remove, which is refused until the
+// handoff completes.
 func (r *Router) DrainShard(id string) error {
 	if err := r.table.Drain(id); err != nil {
 		return err
 	}
 	r.met.setRingGauges(r.table.Snapshot())
 	r.logf("cluster: shard %s draining", id)
+	r.startHandoff(id)
 	return nil
 }
 
 // RemoveShard deletes a shard, rebuilds the ring (reassigning its users)
-// and closes its idle connections.
-func (r *Router) RemoveShard(id string) error {
+// and closes its idle connections. Unless force is set, removal is
+// refused while the shard's users have not been handed off to their
+// ring successors — removing an undrained or mid-handoff shard would
+// silently lose every enrollment it holds. force exists for shards that
+// are already gone (crashed, unreachable) where a handoff is impossible.
+func (r *Router) RemoveShard(id string, force bool) error {
+	if !force {
+		if err := r.removable(id); err != nil {
+			return err
+		}
+	}
 	if err := r.table.Remove(id); err != nil {
 		return err
 	}
@@ -154,6 +197,32 @@ func (r *Router) RemoveShard(id string) error {
 		p.closeAll()
 	}
 	r.logf("cluster: shard %s removed", id)
+	return nil
+}
+
+// removable checks that the shard's state has been handed off, so
+// removing it loses nothing.
+func (r *Router) removable(id string) error {
+	if _, ok := r.table.Get(id); !ok {
+		return fmt.Errorf("cluster: unknown shard %q", id)
+	}
+	r.hoMu.Lock()
+	h := r.handoffs[id]
+	var status HandoffStatus
+	var done, total int
+	var herr string
+	if h != nil {
+		status, done, total, herr = h.Status, h.UsersDone, h.UsersTotal, h.Error
+	}
+	r.hoMu.Unlock()
+	switch {
+	case h == nil:
+		return fmt.Errorf("cluster: shard %q has not been drained; drain first so its users hand off (or remove with force, losing them)", id)
+	case status == HandoffRunning:
+		return fmt.Errorf("cluster: shard %q handoff in progress (%d/%d users); wait for completion or remove with force", id, done, total)
+	case status == HandoffFailed:
+		return fmt.Errorf("cluster: shard %q handoff failed (%s); drain again to retry or remove with force", id, herr)
+	}
 	return nil
 }
 
@@ -457,15 +526,43 @@ var errExhausted = errors.New("candidate shards exhausted")
 // responses are classified: retryable codes surface as routeErrors so
 // failover engages, everything else is returned as the shard's verbatim
 // response for the client to see.
+//
+// A transport error on a *reused* pooled connection gets one same-shard
+// redial before the failure propagates: the daemon may have closed the
+// connection while it sat idle, which indicts that connection, not the
+// shard — failing over to a ring successor on it would burn a failover
+// candidate (and its model-less not_trained mapping) on a healthy owner.
+// Fresh-dial failures and in-band refusals skip the redial: those really
+// are the shard speaking.
 func (r *Router) roundTrip(ctx context.Context, shard *Shard, env *proto.Envelope) (*proto.Envelope, error) {
+	return r.roundTripTimeout(ctx, shard, env, r.opts.UpstreamTimeout)
+}
+
+func (r *Router) roundTripTimeout(ctx context.Context, shard *Shard, env *proto.Envelope, timeout time.Duration) (*proto.Envelope, error) {
 	p := r.shardPool(shard.ID, shard.Addr)
-	u, err := p.get(ctx)
+	u, reused, err := p.get(ctx)
 	if err != nil {
 		return nil, err
 	}
+	resp, err := r.exchange(p, u, shard, env, timeout)
+	var re *routeError
+	if err != nil && reused && !errors.As(err, &re) && ctx.Err() == nil {
+		r.met.redials.Inc()
+		u2, derr := p.dial(ctx)
+		if derr != nil {
+			return nil, err // the shard is unreachable; report the original failure
+		}
+		resp, err = r.exchange(p, u2, shard, env, timeout)
+	}
+	return resp, err
+}
+
+// exchange runs one send/receive on a checked-out upstream: returned to
+// the pool on clean completion, retired on any transport error.
+func (r *Router) exchange(p *pool, u *upstream, shard *Shard, env *proto.Envelope, timeout time.Duration) (*proto.Envelope, error) {
 	start := time.Now()
-	if r.opts.UpstreamTimeout > 0 {
-		u.conn.SetDeadline(time.Now().Add(r.opts.UpstreamTimeout))
+	if timeout > 0 {
+		u.conn.SetDeadline(time.Now().Add(timeout))
 	}
 	r.met.shardRequestCounter(shard.ID).Inc()
 	if err := u.pc.SendEnvelope(env); err != nil {
@@ -501,12 +598,21 @@ func decodeErrorCode(env *proto.Envelope) string {
 // aggregates the responses. Draining shards are included — reading
 // status from a shard being decommissioned is exactly what an operator
 // wants during a drain.
+//
+// Reads (status, model_info) degrade rather than fail: the union over
+// whichever shards answered is returned with Degraded set whenever any
+// member shard was skipped (down) or failed, so a caller can always tell
+// a complete cluster view from a partial one. Writes (retrain) stay
+// strict — a partial retrain must not report success.
 func (r *Router) fanout(ctx context.Context, env *proto.Envelope) (*proto.Envelope, error) {
 	shards := r.table.Snapshot()
 	var live []Shard
+	skipped := 0
 	for _, s := range shards {
 		if s.State() != StateDown {
 			live = append(live, s)
+		} else {
+			skipped++
 		}
 	}
 	if len(live) == 0 {
@@ -529,18 +635,22 @@ func (r *Router) fanout(ctx context.Context, env *proto.Envelope) (*proto.Envelo
 	}
 	wg.Wait()
 
+	read := env.Type == proto.TypeStatusRequest || env.Type == proto.TypeModelInfoRequest
 	var ok []*proto.Envelope
 	var firstErr error
+	failed := 0
 	for _, res := range results {
 		switch {
 		case res.err != nil:
 			r.met.shardErrorCounter(res.shard).Inc()
+			failed++
 			if firstErr == nil {
 				firstErr = res.err
 			}
 		case res.resp.Type == proto.TypeError:
-			// A non-retryable in-band refusal from any shard fails the
-			// aggregate: partial retrains must not report success.
+			// A non-retryable in-band refusal counts as a failed member:
+			// fatal for writes, a degraded-marking for reads.
+			failed++
 			if firstErr == nil {
 				firstErr = coded(decodeErrorCode(res.resp),
 					fmt.Errorf("shard %s: %s", res.shard, decodeErrorCode(res.resp)))
@@ -558,23 +668,29 @@ func (r *Router) fanout(ctx context.Context, env *proto.Envelope) (*proto.Envelo
 		}
 		return nil, coded(proto.CodeInternal, fmt.Errorf("fanout %s: no responses", env.Type))
 	}
-	if firstErr != nil {
+	if firstErr != nil && !read {
 		if !retryableErr(firstErr) {
 			return nil, firstErr
 		}
 		return nil, coded(proto.CodeUnavailable,
 			fmt.Errorf("fanout %s: partial failure: %w", env.Type, firstErr))
 	}
-	return r.aggregate(env, ok)
+	degraded := skipped > 0 || failed > 0
+	if degraded && read {
+		r.met.partialFanouts.Inc()
+		r.logf("cluster: %s fan-out degraded: %d down, %d failed of %d members", env.Type, skipped, failed, len(shards))
+	}
+	return r.aggregate(env, ok, degraded)
 }
 
-// aggregate merges fan-out responses into one client answer.
-func (r *Router) aggregate(req *proto.Envelope, resps []*proto.Envelope) (*proto.Envelope, error) {
+// aggregate merges fan-out responses into one client answer; degraded
+// marks a read aggregate built from a subset of member shards.
+func (r *Router) aggregate(req *proto.Envelope, resps []*proto.Envelope, degraded bool) (*proto.Envelope, error) {
 	out := reply(req, resps[0].Type)
 	var body any
 	switch req.Type {
 	case proto.TypeStatusRequest:
-		agg := proto.StatusResponse{Users: []int{}}
+		agg := proto.StatusResponse{Users: []int{}, Degraded: degraded}
 		seen := make(map[int]bool)
 		for _, resp := range resps {
 			var s proto.StatusResponse
@@ -609,7 +725,7 @@ func (r *Router) aggregate(req *proto.Envelope, resps []*proto.Envelope) (*proto
 		}
 		body = agg
 	case proto.TypeModelInfoRequest:
-		agg := proto.ModelInfoResponse{}
+		agg := proto.ModelInfoResponse{Degraded: degraded}
 		for _, resp := range resps {
 			var mi proto.ModelInfoResponse
 			if err := proto.DecodeBody(resp, &mi); err != nil {

@@ -179,6 +179,9 @@ func TestDrainingExcludedFromNewCaptures(t *testing.T) {
 	if got := r.ring.Load(); got != ring {
 		t.Error("drain rebuilt the ring (ownership must not move)")
 	}
+	// Let the async drain handoff finish its scans before counting the
+	// shard's traffic — its status probes also land in seenUsers.
+	waitHandoff(t, r, owner)
 
 	c := dialRouter(t, addr)
 	before := len(shards[ownerIdx].seenUsers())
@@ -271,6 +274,31 @@ func TestAdminControlSurface(t *testing.T) {
 		t.Errorf("drain answered %d", resp.StatusCode)
 	}
 	resp.Body.Close()
+
+	// Removal is gated on the drain handoff; poll the rebalance report
+	// until it completes (the fake holds no users, so this is quick).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rresp, err := http.Get(srv.URL + "/cluster/rebalance")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var report RebalanceReport
+		if err := json.NewDecoder(rresp.Body).Decode(&report); err != nil {
+			t.Fatal(err)
+		}
+		rresp.Body.Close()
+		if len(report.Handoffs) == 1 && report.Handoffs[0].Status == HandoffComplete {
+			if len(report.Shards) != 1 || report.Shards[0].ID != "s0" || report.Shards[0].KeyspaceShare != 1 {
+				t.Errorf("rebalance report shards %+v", report.Shards)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drain handoff never completed: %+v", report.Handoffs)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 
 	get, err := http.Get(srv.URL + "/cluster/shards")
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"echoimage/internal/proto"
 )
@@ -85,6 +86,21 @@ func (f *fakeShard) close() {
 		}
 	}
 	f.wg.Wait()
+}
+
+// dropConns closes every live server-side connection while keeping the
+// listener up — the idle-timeout kill a real daemon applies to pooled
+// router connections.
+func (f *fakeShard) dropConns() {
+	f.mu.Lock()
+	conns := make([]net.Conn, 0, len(f.conns))
+	for c := range f.conns {
+		conns = append(conns, c)
+	}
+	f.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
 }
 
 // seenUsers returns the routing hints of every request this shard
@@ -277,6 +293,26 @@ func startRouter(t *testing.T, opts Options, shards ...*fakeShard) (*Router, str
 	t.Cleanup(func() {
 		cancel()
 		<-done
+		r.Close()
 	})
 	return r, ln.Addr().String()
+}
+
+// waitHandoff blocks until the shard's drain handoff leaves the running
+// state and returns its final record. Drains hand off asynchronously, so
+// tests observing the draining shard's traffic or removing it must
+// synchronize here first.
+func waitHandoff(t *testing.T, r *Router, id string) Handoff {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, h := range r.Handoffs() {
+			if h.Shard == id && h.Status != HandoffRunning {
+				return h
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("handoff for %s never finished", id)
+	return Handoff{}
 }

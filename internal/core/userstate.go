@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"echoimage/internal/svm"
+)
+
+// UserModelState is the per-user slice of a trained model: the user's
+// one-class SVDD verification gate per distance bin, keyed by bin index
+// (decimal string, matching the v2 snapshot encoding of persist.go). It
+// is the piece of a model a shard can hand to a peer without shipping the
+// whole snapshot — the whitener and identification space are shard-local,
+// so cross-shard model grafting is unsound, but the per-user gates travel
+// alongside the raw enrollments as an archival record of the trained
+// state.
+type UserModelState struct {
+	Bins map[string]*svm.SVDDState `json:"bins"`
+}
+
+// ExportUserState extracts the per-user slice of the trained model for
+// id, in the v2 snapshot state types. It returns nil with no error when
+// the model holds no per-user gate for id (the user is enrolled but not
+// yet covered by a trained model).
+func (a *Authenticator) ExportUserState(id int) (*UserModelState, error) {
+	var st *UserModelState
+	for bin, bm := range a.bins {
+		ug, ok := bm.userGate[id]
+		if !ok {
+			continue
+		}
+		s, err := ug.Export()
+		if err != nil {
+			return nil, fmt.Errorf("core: export user %d gate (bin %d): %w", id, bin, err)
+		}
+		if st == nil {
+			st = &UserModelState{Bins: make(map[string]*svm.SVDDState)}
+		}
+		st.Bins[fmt.Sprint(bin)] = s
+	}
+	return st, nil
+}
+
+// ValidateUserModelState checks that a decoded per-user state is
+// restorable: every bin key parses and every gate round-trips through the
+// SVDD restore path. Import paths use it to reject corrupt handoff blobs
+// before accepting them.
+func ValidateUserModelState(st *UserModelState) error {
+	if st == nil {
+		return nil
+	}
+	for key, gs := range st.Bins {
+		var bin int
+		if _, err := fmt.Sscanf(key, "%d", &bin); err != nil {
+			return fmt.Errorf("core: user state bin key %q: %w", key, err)
+		}
+		if gs == nil {
+			return fmt.Errorf("core: user state bin %q has no gate", key)
+		}
+		if _, err := svm.RestoreSVDD(gs); err != nil {
+			return fmt.Errorf("core: user state bin %q: %w", key, err)
+		}
+	}
+	return nil
+}

@@ -29,6 +29,11 @@ type Options struct {
 	// ModelPath, when set, is written (atomically, by the registry
 	// worker) after every successful retrain.
 	ModelPath string
+	// StateDir, when set, is the shard-local per-user state directory:
+	// handoff exports/imports flush user blobs there and RestoreState
+	// reloads them after a restart, so a drained or crashed shard's
+	// enrollments survive.
+	StateDir string
 	// MaxCaptures bounds concurrent capture processing (the CPU-heavy
 	// ranging + imaging stage). 0 means GOMAXPROCS.
 	MaxCaptures int
@@ -135,6 +140,7 @@ func NewWithOptions(sys *core.System, authCfg core.AuthConfig, logf func(string,
 		sys: sys,
 		reg: registry.New(authCfg, registry.Options{
 			ModelPath: opts.ModelPath,
+			StateDir:  opts.StateDir,
 			Train:     opts.Train,
 			Logf:      logf,
 			Telemetry: tel,
@@ -427,6 +433,16 @@ func (s *Server) handle(ctx context.Context, env *proto.Envelope, rec core.Stage
 		return withBody(reply(env, proto.TypeRetrainResponse), resp)
 	case proto.TypeModelInfoRequest:
 		return withBody(reply(env, proto.TypeModelInfoResponse), s.ModelInfo())
+	case proto.TypeHandoffRequest:
+		var req proto.HandoffRequest
+		if err := proto.DecodeBody(env, &req); err != nil {
+			return nil, coded(proto.CodeBadRequest, err)
+		}
+		resp, err := s.handoff(&req)
+		if err != nil {
+			return nil, err
+		}
+		return withBody(reply(env, proto.TypeHandoffResponse), resp)
 	default:
 		return nil, coded(proto.CodeUnknownType, fmt.Errorf("unknown message type %q", env.Type))
 	}
@@ -593,6 +609,69 @@ func (s *Server) retrain(ctx context.Context, req *proto.RetrainRequest) (*proto
 		resp.ModelVersion = snap.Info.Version
 	}
 	return resp, nil
+}
+
+// handoff serves the v2 administrative handoff message, moving one user's
+// shard-local state in (install a blob from a draining peer) or out
+// (flush and return this shard's blob for the user). Errors map to the
+// stable codes the router's drain pipeline acts on: a malformed or
+// conflicting blob and an export of an unknown user are permanent
+// (bad_request), a closing registry is retryable (unavailable).
+func (s *Server) handoff(req *proto.HandoffRequest) (*proto.HandoffResponse, error) {
+	if req.UserID <= 0 && req.Export {
+		return nil, coded(proto.CodeBadRequest, fmt.Errorf("handoff export: user ID %d must be positive", req.UserID))
+	}
+	switch {
+	case req.Export && len(req.State) > 0:
+		return nil, coded(proto.CodeBadRequest, fmt.Errorf("handoff carries both export and state"))
+	case req.Export:
+		blob, images, err := s.reg.FlushUser(req.UserID)
+		if err != nil {
+			if errors.Is(err, registry.ErrClosed) {
+				return nil, coded(proto.CodeUnavailable, err)
+			}
+			return nil, coded(proto.CodeBadRequest, err)
+		}
+		return &proto.HandoffResponse{UserID: req.UserID, State: blob, Images: images}, nil
+	case len(req.State) > 0:
+		id, images, imported, err := s.reg.ImportUser(req.State)
+		if err != nil {
+			if errors.Is(err, registry.ErrClosed) {
+				return nil, coded(proto.CodeUnavailable, err)
+			}
+			return nil, coded(proto.CodeBadRequest, err)
+		}
+		if req.UserID != 0 && id != req.UserID {
+			return nil, coded(proto.CodeBadRequest,
+				fmt.Errorf("handoff addressed to user %d carries state of user %d", req.UserID, id))
+		}
+		resp := &proto.HandoffResponse{UserID: id, Images: images, Imported: imported}
+		if imported {
+			// Converge the model in the background; the mover may also issue
+			// an explicit blocking retrain for a deterministic finish.
+			if err := s.reg.RequestRetrain(); err == nil {
+				resp.RetrainQueued = true
+			}
+		}
+		return resp, nil
+	default:
+		return nil, coded(proto.CodeBadRequest, fmt.Errorf("handoff carries neither export nor state"))
+	}
+}
+
+// RestoreState reloads per-user state blobs from the configured state
+// directory into the enrollment store and, when anything was restored,
+// queues a retrain so the model converges to cover the restored users.
+// It returns how many users were restored; a partially failed restore
+// still loads the healthy blobs.
+func (s *Server) RestoreState() (int, error) {
+	restored, err := s.reg.RestoreState()
+	if restored > 0 {
+		if rerr := s.reg.RequestRetrain(); rerr != nil && err == nil {
+			err = rerr
+		}
+	}
+	return restored, err
 }
 
 // SaveModel serializes the live model, or reports an error when no model

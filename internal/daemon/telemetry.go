@@ -41,6 +41,7 @@ var requestTypes = []proto.MsgType{
 	proto.TypeStatusRequest,
 	proto.TypeRetrainRequest,
 	proto.TypeModelInfoRequest,
+	proto.TypeHandoffRequest,
 }
 
 // errorCodes are the stable protocol error codes of internal/proto.

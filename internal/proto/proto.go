@@ -31,17 +31,21 @@ const Version = 2
 type MsgType string
 
 // Protocol message types. The retrain and model_info pairs are v2-only.
+// The handoff pair is v2-only and administrative: echoimage-router uses it
+// to move one user's shard-local state between daemons during a drain.
 const (
 	TypeEnrollRequest     MsgType = "enroll"
 	TypeAuthRequest       MsgType = "authenticate"
 	TypeStatusRequest     MsgType = "status"
 	TypeRetrainRequest    MsgType = "retrain"
 	TypeModelInfoRequest  MsgType = "model_info"
+	TypeHandoffRequest    MsgType = "handoff"
 	TypeEnrollResponse    MsgType = "enroll_result"
 	TypeAuthResponse      MsgType = "auth_result"
 	TypeStatusResponse    MsgType = "status_result"
 	TypeRetrainResponse   MsgType = "retrain_result"
 	TypeModelInfoResponse MsgType = "model_info_result"
+	TypeHandoffResponse   MsgType = "handoff_result"
 	TypeError             MsgType = "error"
 )
 
@@ -161,6 +165,11 @@ type StatusResponse struct {
 	TotalImages int   `json:"total_images"`
 	// ModelVersion is the registry version of the live model (v2).
 	ModelVersion int `json:"model_version,omitempty"`
+	// Degraded is set only by echoimage-router on aggregated responses:
+	// the fan-out that produced this union missed at least one member
+	// shard (down or failing), so the figures may undercount. A single
+	// daemon never sets it.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // RetrainRequest asks the daemon to rebuild the model from the current
@@ -204,6 +213,44 @@ type ModelInfoResponse struct {
 	// LastError is the most recent background training failure, empty
 	// once a later train succeeds.
 	LastError string `json:"last_error,omitempty"`
+	// Degraded is set only by echoimage-router on aggregated responses:
+	// the fan-out that produced this merge missed at least one member
+	// shard (down or failing). A single daemon never sets it.
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// HandoffRequest moves one user's shard-local state (enrollment captures
+// plus the model's per-user slice) between daemons. It is issued by
+// echoimage-router during a drain, never by end-user clients, and the
+// router does not route it — it is always addressed to a specific shard.
+// Exactly one of Export / State must be set: Export asks the shard to
+// flush and return the user's serialized state; State asks the shard to
+// install a previously exported blob.
+type HandoffRequest struct {
+	UserID int `json:"user_id"`
+	// Export asks the shard to serialize the user's state, flush it to
+	// the shard's state directory (when configured), and return the blob.
+	Export bool `json:"export,omitempty"`
+	// State is a blob from a prior export, in the registry's user-state
+	// encoding (which reuses the v2 model-snapshot state types), to be
+	// installed on the receiving shard.
+	State []byte `json:"state,omitempty"`
+}
+
+// HandoffResponse reports a handoff outcome.
+type HandoffResponse struct {
+	UserID int `json:"user_id"`
+	// State carries the exported blob (export requests only).
+	State []byte `json:"state,omitempty"`
+	// Images is the user's enrollment image count on the answering shard.
+	Images int `json:"images"`
+	// Imported reports that the state was installed. It is false when an
+	// identical enrollment was already present — a re-delivered handoff —
+	// which is success, not an error.
+	Imported bool `json:"imported,omitempty"`
+	// RetrainQueued reports that the import scheduled a background
+	// retrain so the model converges to cover the new user.
+	RetrainQueued bool `json:"retrain_queued,omitempty"`
 }
 
 // ErrorResponse carries a failure.

@@ -84,6 +84,9 @@ type Registry struct {
 	// modelPath, when non-empty, receives an atomically renamed copy of
 	// every trained model (written by the worker, off the request path).
 	modelPath string
+	// stateDir, when non-empty, holds per-user state blobs (user-N.json)
+	// written by FlushUser/ImportUser and reloaded by RestoreState.
+	stateDir string
 
 	model atomic.Pointer[Snapshot]
 	stats atomic.Pointer[Stats]
@@ -164,6 +167,10 @@ type Options struct {
 	// ModelPath, when set, receives the serialized model after every
 	// successful train (atomic temp-file + rename).
 	ModelPath string
+	// StateDir, when set, is the shard-local per-user state directory:
+	// FlushUser and ImportUser durably write user-N.json blobs there and
+	// RestoreState reloads them at startup. Created if absent.
+	StateDir string
 	// Train overrides the training function; nil means
 	// core.TrainAuthenticatorContext.
 	Train TrainFunc
@@ -196,12 +203,19 @@ func New(cfg core.AuthConfig, opts Options) *Registry {
 	if tel == nil {
 		tel = telemetry.NewRegistry()
 	}
+	if opts.StateDir != "" {
+		if err := os.MkdirAll(opts.StateDir, 0o755); err != nil {
+			// Flush/restore calls will surface the failure per operation.
+			logf("registry: create state dir %s: %v", opts.StateDir, err)
+		}
+	}
 	r := &Registry{
 		cfg:        cfg,
 		train:      train,
 		extend:     extend,
 		logf:       logf,
 		modelPath:  opts.ModelPath,
+		stateDir:   opts.StateDir,
 		enrollment: make(map[int][]*core.AcousticImage),
 		wake:       make(chan struct{}, 1),
 		quit:       make(chan struct{}),
@@ -534,18 +548,23 @@ func (r *Registry) failWaiters(err error) {
 	}
 }
 
-// persist writes the model atomically and durably: temp file in the
-// destination directory, fsync, rename, then fsync the directory — so a
-// crash at any point leaves either the previous model or the new one,
-// never a truncated file, and the rename itself survives a power loss.
+// persist writes the model atomically and durably.
 func persist(path string, auth *core.Authenticator) error {
+	return writeDurable(path, func(f *os.File) error { return auth.Save(f) })
+}
+
+// writeDurable writes a file atomically and durably: temp file in the
+// destination directory, fsync, rename, then fsync the directory — so a
+// crash at any point leaves either the previous content or the new one,
+// never a truncated file, and the rename itself survives a power loss.
+func writeDurable(path string, write func(f *os.File) error) error {
 	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, ".model-*")
+	f, err := os.CreateTemp(dir, ".state-*")
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
-	if err := auth.Save(f); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
