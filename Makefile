@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-ci bench-report telemetry-smoke cluster-smoke fuzz-smoke lint ci
+.PHONY: build test vet race bench bench-ci bench-report telemetry-smoke cluster-smoke fuzz-smoke lint lint-self ci
 
 build:
 	$(GO) build ./...
@@ -143,4 +143,10 @@ lint:
 		exit 1; \
 	fi
 
-ci: vet lint test bench-ci fuzz-smoke
+# Self-check: the analyzer package and its driver stay clean under the
+# very suite they implement — an analyzer that cannot pass its own rules
+# has no authority over the rest of the tree.
+lint-self:
+	$(GO) run ./cmd/echoimage-lint ./internal/analysis/... ./cmd/echoimage-lint
+
+ci: vet lint lint-self test bench-ci fuzz-smoke

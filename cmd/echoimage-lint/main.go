@@ -4,11 +4,16 @@
 //
 // Usage:
 //
-//	echoimage-lint [-C dir] [-list] [packages...]
+//	echoimage-lint [-C dir] [-list] [-json] [-rules a,b,c] [packages...]
 //
-// With no package arguments it checks ./... . Exit status: 0 when the
-// tree is clean, 1 when any diagnostic was emitted, 2 when analysis
-// itself failed (a package did not load or typecheck).
+// With no package arguments it checks ./... . -rules runs only the
+// named analyzers (comma-separated); ignore comments for the unfiltered
+// rules stay valid. -json emits a JSON array of every finding —
+// including the suppressed ones, each carrying its suppression verdict —
+// instead of text lines. Exit status: 0 when the tree is clean, 1 when
+// any unsuppressed diagnostic was emitted, 2 when analysis itself failed
+// (a package did not load or typecheck, or -rules named an unknown
+// rule).
 //
 // A finding that is intentional is suppressed in source with
 //
@@ -19,9 +24,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"echoimage/internal/analysis"
 )
@@ -30,11 +37,23 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonFinding is the machine-readable finding shape: stable field names
+// decoupled from the analysis package's internal types.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Rule       string `json:"rule"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("echoimage-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	dir := fs.String("C", ".", "directory to run in (module root)")
 	list := fs.Bool("list", false, "list the rules and exit")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array (including suppressed ones)")
+	rules := fs.String("rules", "", "comma-separated rule names to run (default: all)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -45,20 +64,74 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 		return 0
 	}
+	// Ignore comments are validated against the full suite even when
+	// -rules narrows what runs: a filtered invocation must not call a
+	// valid suppression "unknown".
+	known := make([]string, 0, len(suite))
+	for _, a := range suite {
+		known = append(known, a.Name())
+	}
+	if *rules != "" {
+		byName := make(map[string]analysis.Analyzer, len(suite))
+		for _, a := range suite {
+			byName[a.Name()] = a
+		}
+		var filtered []analysis.Analyzer
+		for _, name := range strings.Split(*rules, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(stderr, "echoimage-lint: unknown rule %q in -rules (see -list)\n", name)
+				return 2
+			}
+			filtered = append(filtered, a)
+		}
+		suite = filtered
+	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	diags, err := analysis.Run(*dir, patterns, suite)
+	findings, err := analysis.RunDetailed(*dir, patterns, suite, known)
 	if err != nil {
 		fmt.Fprintf(stderr, "echoimage-lint: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	live := 0
+	for _, f := range findings {
+		if !f.Suppressed {
+			live++
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "echoimage-lint: %d finding(s)\n", len(diags))
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:       f.Pos.Filename,
+				Line:       f.Pos.Line,
+				Rule:       f.Rule,
+				Message:    f.Message,
+				Suppressed: f.Suppressed,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "echoimage-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			if !f.Suppressed {
+				fmt.Fprintln(stdout, f.Diagnostic)
+			}
+		}
+	}
+	if live > 0 {
+		fmt.Fprintf(stderr, "echoimage-lint: %d finding(s)\n", live)
 		return 1
 	}
 	return 0

@@ -51,50 +51,80 @@ type Analyzer interface {
 	Check(pkg *Package) []Diagnostic
 }
 
+// Finding is one diagnostic plus its suppression outcome: a Suppressed
+// finding matched an audited //echoimage:lint-ignore comment and does
+// not fail the build, but machine consumers (-json) still see it — an
+// audit trail of every accepted exception.
+type Finding struct {
+	Diagnostic
+	Suppressed bool
+}
+
 // Run loads the packages matched by patterns (relative to dir), runs
 // every analyzer over every loaded package, applies lint-ignore
 // suppressions, and returns the surviving diagnostics sorted by
 // position. File names in the result are relative to dir when inside it.
 func Run(dir string, patterns []string, analyzers []Analyzer) ([]Diagnostic, error) {
+	findings, err := RunDetailed(dir, patterns, analyzers, nil)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, f := range findings {
+		if !f.Suppressed {
+			diags = append(diags, f.Diagnostic)
+		}
+	}
+	return diags, nil
+}
+
+// RunDetailed is Run keeping suppressed findings, marked instead of
+// dropped. knownRules extends the set of rule names valid in ignore
+// comments beyond the analyzers actually run — a driver filtering the
+// suite (-rules) passes the full suite's names here so an ignore for an
+// unfiltered rule is not misreported as unknown.
+func RunDetailed(dir string, patterns []string, analyzers []Analyzer, knownRules []string) ([]Finding, error) {
 	pkgs, err := Load(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
-	known := make(map[string]bool, len(analyzers))
+	known := make(map[string]bool, len(analyzers)+len(knownRules))
 	for _, a := range analyzers {
 		known[a.Name()] = true
 	}
-	var diags []Diagnostic
+	for _, r := range knownRules {
+		known[r] = true
+	}
+	var findings []Finding
 	for _, pkg := range pkgs {
 		var pd []Diagnostic
 		for _, a := range analyzers {
 			pd = append(pd, a.Check(pkg)...)
 		}
-		pd = applyIgnores(pkg, pd, known)
-		diags = append(diags, pd...)
+		findings = append(findings, evalIgnores(pkg, pd, known)...)
 	}
-	relativize(dir, diags)
-	sortDiagnostics(diags)
-	return diags, nil
+	relativize(dir, findings)
+	sortFindings(findings)
+	return findings, nil
 }
 
 // relativize rewrites absolute diagnostic file names to dir-relative
 // ones, for stable output independent of where the tree is checked out.
-func relativize(dir string, diags []Diagnostic) {
+func relativize(dir string, findings []Finding) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return
 	}
-	for i := range diags {
-		if rel, err := filepath.Rel(abs, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			diags[i].Pos.Filename = rel
+	for i := range findings {
+		if rel, err := filepath.Rel(abs, findings[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			findings[i].Pos.Filename = rel
 		}
 	}
 }
 
-func sortDiagnostics(diags []Diagnostic) {
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
+func sortFindings(findings []Finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}

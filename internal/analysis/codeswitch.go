@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CodeSwitchConfig tunes the error-code switch analyzer.
+type CodeSwitchConfig struct {
+	// ProtoPath is the import path of the package declaring the closed
+	// code set (echoimage/internal/proto in the shipped tree).
+	ProtoPath string
+	// CodePrefix selects the constants forming the set: every exported
+	// constant in ProtoPath whose name starts with CodePrefix.
+	CodePrefix string
+}
+
+// CodeSwitch enforces that a switch classifying the stable protocol
+// error codes handles the whole set: a switch statement with at least
+// one case naming a proto Code constant must either cover every declared
+// Code constant or carry a default clause. Without this, adding the next
+// code (a future handoff_pending, say) silently falls through every
+// retry/failover classification that was written against the old set.
+type CodeSwitch struct {
+	cfg CodeSwitchConfig
+}
+
+// NewCodeSwitch builds the analyzer.
+func NewCodeSwitch(cfg CodeSwitchConfig) *CodeSwitch { return &CodeSwitch{cfg: cfg} }
+
+// Name implements Analyzer.
+func (c *CodeSwitch) Name() string { return "codeswitch" }
+
+// Doc implements Analyzer.
+func (c *CodeSwitch) Doc() string {
+	return "a switch over proto error codes must cover every declared code or carry a default"
+}
+
+// Check implements Analyzer.
+func (c *CodeSwitch) Check(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			if d := c.checkSwitch(pkg, sw); d != nil {
+				diags = append(diags, *d)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// checkSwitch classifies one switch statement and reports it when it
+// names at least one code constant but neither covers the set nor
+// defaults.
+func (c *CodeSwitch) checkSwitch(pkg *Package, sw *ast.SwitchStmt) *Diagnostic {
+	covered := make(map[string]bool)
+	hasDefault := false
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, expr := range cc.List {
+			if name := c.codeConstName(pkg, expr); name != "" {
+				covered[name] = true
+			}
+		}
+	}
+	if len(covered) == 0 {
+		return nil // not a switch over the code set
+	}
+	if hasDefault {
+		return nil
+	}
+	var missing []string
+	for _, name := range c.codeSet(pkg) {
+		if !covered[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	sort.Strings(missing)
+	return &Diagnostic{
+		Pos:  pkg.Fset.Position(sw.Pos()),
+		Rule: c.Name(),
+		Message: fmt.Sprintf("switch over proto error codes is not exhaustive: missing %s (add the cases or a default)",
+			strings.Join(missing, ", ")),
+	}
+}
+
+// codeConstName resolves expr to an exported constant of the proto
+// package with the configured prefix, returning its name or "".
+func (c *CodeSwitch) codeConstName(pkg *Package, expr ast.Expr) string {
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	obj, ok := pkg.Info.Uses[id].(*types.Const)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != c.cfg.ProtoPath {
+		return ""
+	}
+	if !obj.Exported() || !strings.HasPrefix(obj.Name(), c.cfg.CodePrefix) {
+		return ""
+	}
+	return obj.Name()
+}
+
+// codeSet enumerates the closed code set: every exported constant with
+// the prefix in the proto package's scope, as seen from pkg.
+func (c *CodeSwitch) codeSet(pkg *Package) []string {
+	scope := c.protoScope(pkg)
+	if scope == nil {
+		return nil
+	}
+	var names []string
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, c.cfg.CodePrefix) {
+			continue
+		}
+		if obj, ok := scope.Lookup(name).(*types.Const); ok && obj.Exported() {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// protoScope locates the proto package's scope: the package's own scope
+// when checking the proto package itself, or the imported package's.
+func (c *CodeSwitch) protoScope(pkg *Package) *types.Scope {
+	if pkg.Path == c.cfg.ProtoPath {
+		return pkg.Types.Scope()
+	}
+	for _, imp := range pkg.Types.Imports() {
+		if imp.Path() == c.cfg.ProtoPath {
+			return imp.Scope()
+		}
+	}
+	return nil
+}
+
+var _ Analyzer = (*CodeSwitch)(nil)

@@ -1,0 +1,12 @@
+package analysis
+
+import "testing"
+
+func TestCodeSwitchGolden(t *testing.T) {
+	suite := []Analyzer{NewCodeSwitch(CodeSwitchConfig{
+		ProtoPath:  fixtureBase + "/codeswitch/fakeproto",
+		CodePrefix: "Code",
+	})}
+	diags := runFixture(t, suite, "codeswitch/fakeproto", "codeswitch/switchpkg")
+	checkGolden(t, "codeswitch", diags)
+}

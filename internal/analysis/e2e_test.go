@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"errors"
 	"os/exec"
 	"path/filepath"
@@ -72,6 +73,109 @@ func TestDriverExitCodes(t *testing.T) {
 		for _, a := range DefaultSuite() {
 			if !strings.Contains(string(out), a.Name()) {
 				t.Errorf("-list output missing rule %s:\n%s", a.Name(), out)
+			}
+		}
+	})
+
+	// The jsondriver fixture carries three rule hits: a live
+	// goroutinelife finding, a poolcheck finding silenced by an audited
+	// ignore, and the package's missing layering DAG entry.
+	fixture := fixtureBase + "/jsondriver/jsonpkg"
+
+	t.Run("json emits every finding with its suppression verdict", func(t *testing.T) {
+		cmd := exec.Command(bin, "-json", fixture)
+		cmd.Dir = root
+		stdout, err := cmd.Output()
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) || exitErr.ExitCode() != 1 {
+			t.Fatalf("want exit 1 (live findings remain), got %v\n%s", err, stdout)
+		}
+		var findings []struct {
+			File       string `json:"file"`
+			Line       int    `json:"line"`
+			Rule       string `json:"rule"`
+			Message    string `json:"message"`
+			Suppressed bool   `json:"suppressed"`
+		}
+		if err := json.Unmarshal(stdout, &findings); err != nil {
+			t.Fatalf("output is not a JSON finding array: %v\n%s", err, stdout)
+		}
+		suppressed := map[string]bool{}
+		for _, f := range findings {
+			if f.File == "" || f.Line <= 0 || f.Rule == "" || f.Message == "" {
+				t.Errorf("finding with empty field: %+v", f)
+			}
+			suppressed[f.Rule] = f.Suppressed
+		}
+		if v, ok := suppressed["poolcheck"]; !ok || !v {
+			t.Errorf("suppressed poolcheck finding missing from -json output: %s", stdout)
+		}
+		if v, ok := suppressed["goroutinelife"]; !ok || v {
+			t.Errorf("live goroutinelife finding missing or wrongly suppressed: %s", stdout)
+		}
+	})
+
+	t.Run("rules filter runs only the named analyzers", func(t *testing.T) {
+		cmd := exec.Command(bin, "-rules", "goroutinelife", fixture)
+		cmd.Dir = root
+		out, err := cmd.CombinedOutput()
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) || exitErr.ExitCode() != 1 {
+			t.Fatalf("want exit 1, got %v\n%s", err, out)
+		}
+		text := string(out)
+		if !strings.Contains(text, "goroutinelife:") {
+			t.Errorf("filtered run lost its own finding:\n%s", text)
+		}
+		if strings.Contains(text, "layering:") {
+			t.Errorf("filtered run leaked an unfiltered rule:\n%s", text)
+		}
+	})
+
+	t.Run("rules filter keeps foreign ignores valid", func(t *testing.T) {
+		// Only poolcheck runs; its sole finding is suppressed, and the
+		// suppression must not be reported as an unknown rule even
+		// though no other analyzer in the filtered set exists.
+		cmd := exec.Command(bin, "-rules", "poolcheck", fixture)
+		cmd.Dir = root
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("want exit 0 (only finding is suppressed), got %v\n%s", err, out)
+		}
+		if len(out) != 0 {
+			t.Errorf("want no output, got:\n%s", out)
+		}
+	})
+
+	t.Run("rules filter rejects unknown rule names", func(t *testing.T) {
+		cmd := exec.Command(bin, "-rules", "nosuchrule", fixture)
+		cmd.Dir = root
+		out, err := cmd.CombinedOutput()
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) || exitErr.ExitCode() != 2 {
+			t.Fatalf("want exit 2 on unknown -rules name, got %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "nosuchrule") {
+			t.Errorf("error does not name the bad rule:\n%s", out)
+		}
+	})
+
+	t.Run("json on the clean tree exits 0 with only suppressed findings", func(t *testing.T) {
+		cmd := exec.Command(bin, "-json", "./...")
+		cmd.Dir = root
+		stdout, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("want exit 0 on clean tree, got %v\n%s", err, stdout)
+		}
+		var findings []struct {
+			Suppressed bool `json:"suppressed"`
+		}
+		if err := json.Unmarshal(stdout, &findings); err != nil {
+			t.Fatalf("output is not a JSON finding array: %v\n%s", err, stdout)
+		}
+		for _, f := range findings {
+			if !f.Suppressed {
+				t.Errorf("clean tree reported an unsuppressed finding:\n%s", stdout)
 			}
 		}
 	})

@@ -1,0 +1,9 @@
+package analysis
+
+import "testing"
+
+func TestGoroutineLifeGolden(t *testing.T) {
+	suite := []Analyzer{NewGoroutineLife()}
+	diags := runFixture(t, suite, "goroutinelife/goroutinepkg", "goroutinelife/mainpkg")
+	checkGolden(t, "goroutinelife", diags)
+}

@@ -1,0 +1,9 @@
+package analysis
+
+import "testing"
+
+func TestLockGuardGolden(t *testing.T) {
+	suite := []Analyzer{NewLockGuard()}
+	diags := runFixture(t, suite, "lockguard/lockpkg")
+	checkGolden(t, "lockguard", diags)
+}

@@ -1,0 +1,301 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolCheck enforces the scratch-ownership rules of DESIGN §8.1: a
+// pooled object (sync.Pool.Get, or a call to one of the package's
+// acquire helpers built on it) is owned by the function that acquired
+// it. On every path out of that function the object must either be
+// released — sync.Pool.Put, directly or via a deferred call or a
+// release helper — or transferred whole to the caller by returning it
+// (the acquire-helper idiom: the caller inherits the obligation).
+// Everything else is an escape: storing the object into a struct field,
+// capturing or passing it to a spawned goroutine, or returning a field
+// of a pooled scratch struct all let request-scoped memory outlive the
+// request, which under concurrency means two requests sharing one
+// scratch and silently corrupting each other's authentication result.
+//
+// Acquire and release helpers are classified per package: a function
+// returning a pool.Get result (possibly via locals) is an acquirer; a
+// function passing one of its parameters to Put (possibly via another
+// release helper) is a releaser. Calls to them count as Get/Put at the
+// call site, so the getScratch/putBuf idiom checks interprocedurally.
+// Ownership handed into a local container (slice element, composite
+// literal, append) leaves local analysis and is accepted; the rule's
+// teeth are the leak-on-path and escape cases above.
+type PoolCheck struct{}
+
+// NewPoolCheck builds the analyzer.
+func NewPoolCheck() *PoolCheck { return &PoolCheck{} }
+
+// Name implements Analyzer.
+func (p *PoolCheck) Name() string { return "poolcheck" }
+
+// Doc implements Analyzer.
+func (p *PoolCheck) Doc() string {
+	return "every sync.Pool.Get must reach a Put on all paths; pooled scratch must not escape via fields, goroutines, or returned internals"
+}
+
+// Check implements Analyzer.
+func (p *PoolCheck) Check(pkg *Package) []Diagnostic {
+	decls := funcDeclsByObject(pkg)
+	acquirers, releasers := classifyPoolHelpers(pkg, decls)
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			diags = append(diags, checkPoolBody(pkg, acquirers, releasers, fd.Body, funcDisplayName(fd))...)
+			// Closures run on their own schedule (goroutines, defers,
+			// callbacks), so each body is its own ownership scope.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					diags = append(diags, checkPoolBody(pkg, acquirers, releasers, lit.Body,
+						"func literal in "+funcDisplayName(fd))...)
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// ── helper classification ──
+
+// classifyPoolHelpers finds the package's acquire and release helpers
+// by fixpoint: helpers may be built on other helpers.
+func classifyPoolHelpers(pkg *Package, decls map[types.Object]*ast.FuncDecl) (map[types.Object]bool, map[types.Object]int) {
+	acquirers := make(map[types.Object]bool)
+	releasers := make(map[types.Object]int)
+	for changed := true; changed; {
+		changed = false
+		for obj, fd := range decls {
+			if fd.Body == nil {
+				continue
+			}
+			if !acquirers[obj] && returnsPooled(pkg, acquirers, fd) {
+				acquirers[obj] = true
+				changed = true
+			}
+			if _, done := releasers[obj]; !done {
+				if idx, ok := releasesParam(pkg, releasers, fd); ok {
+					releasers[obj] = idx
+					changed = true
+				}
+			}
+		}
+	}
+	return acquirers, releasers
+}
+
+// returnsPooled reports whether fd returns a pool acquisition: a Get or
+// acquirer-call result directly, or a local that one flowed into.
+func returnsPooled(pkg *Package, acquirers map[types.Object]bool, fd *ast.FuncDecl) bool {
+	pooled := make(map[types.Object]bool)
+	for grow := true; grow; {
+		grow = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				return true
+			}
+			rhs := as.Rhs[0]
+			var viaField bool
+			if !isAcquireExpr(pkg, acquirers, rhs) && !pooledObj(pkg, pooled, rhs, &viaField) {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					if obj := identObj(pkg, id); obj != nil && !pooled[obj] {
+						pooled[obj] = true
+						grow = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			var viaField bool
+			if isAcquireExpr(pkg, acquirers, res) || pooledObj(pkg, pooled, res, &viaField) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// pooledObj reports whether expr is rooted at an object in set,
+// recording whether the chain crosses a struct field selection.
+func pooledObj(pkg *Package, set map[types.Object]bool, expr ast.Expr, viaField *bool) bool {
+	obj := rootObj(pkg, expr, viaField)
+	return obj != nil && set[obj]
+}
+
+// releasesParam reports whether fd hands one of its parameters to a
+// pool Put (or to another release helper), and which one.
+func releasesParam(pkg *Package, releasers map[types.Object]int, fd *ast.FuncDecl) (int, bool) {
+	if fd.Type.Params == nil {
+		return 0, false
+	}
+	var params []types.Object
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			params = append(params, pkg.Info.Defs[name])
+		}
+	}
+	idx, found := 0, false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		arg, ok := releaseArg(pkg, releasers, call)
+		if !ok {
+			return true
+		}
+		var viaField bool
+		obj := rootObj(pkg, arg, &viaField)
+		for i, po := range params {
+			if po != nil && po == obj {
+				idx, found = i, true
+			}
+		}
+		return !found
+	})
+	return idx, found
+}
+
+// ── expression helpers ──
+
+// isPoolGetCall reports whether call is sync.Pool.Get.
+func isPoolGetCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Get" {
+		return false
+	}
+	s, ok := pkg.Info.Selections[sel]
+	return ok && isNamedType(s.Recv(), "sync", "Pool")
+}
+
+// isAcquireExpr reports whether expr (behind parens and type asserts)
+// is a pool acquisition: a Get call or an acquire-helper call.
+func isAcquireExpr(pkg *Package, acquirers map[types.Object]bool, expr ast.Expr) bool {
+	call := acquireCall(pkg, acquirers, expr)
+	return call != nil
+}
+
+// acquireCall unwraps expr to the acquisition call it contains, or nil.
+func acquireCall(pkg *Package, acquirers map[types.Object]bool, expr ast.Expr) *ast.CallExpr {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.TypeAssertExpr:
+			expr = e.X
+		case *ast.CallExpr:
+			if isPoolGetCall(pkg, e) {
+				return e
+			}
+			var id *ast.Ident
+			switch fun := e.Fun.(type) {
+			case *ast.Ident:
+				id = fun
+			case *ast.SelectorExpr:
+				id = fun.Sel
+			default:
+				return nil
+			}
+			if acquirers[pkg.Info.Uses[id]] {
+				return e
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// releaseArg returns the argument released by call: the operand of a
+// sync.Pool.Put, or the classified parameter of a release helper.
+func releaseArg(pkg *Package, releasers map[types.Object]int, call *ast.CallExpr) (ast.Expr, bool) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Put" {
+		if s, ok := pkg.Info.Selections[sel]; ok && isNamedType(s.Recv(), "sync", "Pool") {
+			if len(call.Args) == 1 {
+				return call.Args[0], true
+			}
+		}
+	}
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil, false
+	}
+	if idx, ok := releasers[pkg.Info.Uses[id]]; ok && idx < len(call.Args) {
+		return call.Args[idx], true
+	}
+	return nil, false
+}
+
+// rootObj walks expr down to the identifier it is built from —
+// through parens, type asserts, &/* derefs, indexing, slicing, and
+// struct field selection — setting *viaField when the chain crosses a
+// field. Returns nil for call results, literals, and package names.
+func rootObj(pkg *Package, expr ast.Expr, viaField *bool) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.TypeAssertExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			if e.Op != token.AND && e.Op != token.MUL {
+				return nil
+			}
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			if s, ok := pkg.Info.Selections[e]; !ok || s.Kind() != types.FieldVal {
+				return nil
+			}
+			*viaField = true
+			expr = e.X
+		case *ast.Ident:
+			return identObj(pkg, e)
+		default:
+			return nil
+		}
+	}
+}
+
+// identObj resolves an identifier to its object, def or use.
+func identObj(pkg *Package, id *ast.Ident) types.Object {
+	if obj := pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Defs[id]
+}
+
+var _ Analyzer = (*PoolCheck)(nil)

@@ -1,0 +1,9 @@
+package analysis
+
+import "testing"
+
+func TestPoolCheckGolden(t *testing.T) {
+	suite := []Analyzer{NewPoolCheck()}
+	diags := runFixture(t, suite, "poolcheck/poolpkg")
+	checkGolden(t, "poolcheck", diags)
+}

@@ -1,0 +1,542 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// poolState is the walker's per-path view: which pooled objects the
+// current path holds (keyed by the local they are bound to, valued by
+// the acquire position) and which locals are derived views of a held
+// object (a deref, slice, or field of it).
+type poolState struct {
+	held    map[types.Object]token.Pos
+	derived map[types.Object]derivation
+}
+
+type derivation struct {
+	root     types.Object
+	viaField bool
+}
+
+func newPoolState() *poolState {
+	return &poolState{
+		held:    make(map[types.Object]token.Pos),
+		derived: make(map[types.Object]derivation),
+	}
+}
+
+func (s *poolState) clone() *poolState {
+	c := newPoolState()
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k, v := range s.derived {
+		c.derived[k] = v
+	}
+	return c
+}
+
+// merge folds another path's outcome into s: held is unioned (an
+// object held on any incoming path still needs its Put downstream)
+// while derived is intersected (a view killed on any path is no view).
+func (s *poolState) merge(o *poolState) {
+	for k, v := range o.held {
+		if _, ok := s.held[k]; !ok {
+			s.held[k] = v
+		}
+	}
+	for k := range s.derived {
+		if _, ok := o.derived[k]; !ok {
+			delete(s.derived, k)
+		}
+	}
+}
+
+// liveRoot resolves obj to the held object it denotes on this path:
+// itself when held, or its derivation root when that is still held.
+func (s *poolState) liveRoot(obj types.Object) (types.Object, bool, bool) {
+	if obj == nil {
+		return nil, false, false
+	}
+	if _, ok := s.held[obj]; ok {
+		return obj, false, true
+	}
+	if d, ok := s.derived[obj]; ok {
+		if _, held := s.held[d.root]; held {
+			return d.root, d.viaField, true
+		}
+	}
+	return nil, false, false
+}
+
+// poolWalker carries one function body's check.
+type poolWalker struct {
+	pkg       *Package
+	acquirers map[types.Object]bool
+	releasers map[types.Object]int
+	deferRel  map[types.Object]bool
+	funcName  string
+	leaks     map[token.Pos]Diagnostic
+	diags     []Diagnostic
+}
+
+// checkPoolBody runs the ownership walk over one function body.
+func checkPoolBody(pkg *Package, acquirers map[types.Object]bool, releasers map[types.Object]int, body *ast.BlockStmt, funcName string) []Diagnostic {
+	w := &poolWalker{
+		pkg:       pkg,
+		acquirers: acquirers,
+		releasers: releasers,
+		deferRel:  deferReleased(pkg, releasers, body),
+		funcName:  funcName,
+		leaks:     make(map[token.Pos]Diagnostic),
+	}
+	st := newPoolState()
+	terminated := w.block(body.List, st)
+	if !terminated {
+		w.checkObligations(st, pkg.Fset.Position(body.Rbrace).Line)
+	}
+	diags := w.diags
+	for _, d := range w.leaks {
+		diags = append(diags, d)
+	}
+	return diags
+}
+
+// deferReleased pre-scans the body for deferred releases — `defer
+// pool.Put(x)`, `defer putBuf(x)`, or a deferred closure that releases
+// x — which satisfy x's obligation on every path.
+func deferReleased(pkg *Package, releasers map[types.Object]int, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	record := func(call *ast.CallExpr) {
+		if arg, ok := releaseArg(pkg, releasers, call); ok {
+			var viaField bool
+			if obj := rootObj(pkg, arg, &viaField); obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := ds.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					record(call)
+				}
+				return true
+			})
+			return true
+		}
+		record(ds.Call)
+		return true
+	})
+	return out
+}
+
+func (w *poolWalker) diag(pos token.Pos, format string, args ...any) {
+	w.diags = append(w.diags, Diagnostic{
+		Pos:     w.pkg.Fset.Position(pos),
+		Rule:    "poolcheck",
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// leak records a missing-release finding, deduplicated by acquire site
+// so one unbalanced Get reports once however many returns miss it.
+func (w *poolWalker) leak(acquire token.Pos, line int) {
+	if _, ok := w.leaks[acquire]; ok {
+		return
+	}
+	w.leaks[acquire] = Diagnostic{
+		Pos:     w.pkg.Fset.Position(acquire),
+		Rule:    "poolcheck",
+		Message: fmt.Sprintf("pooled object acquired here does not reach a Put on the path leaving %s at line %d", w.funcName, line),
+	}
+}
+
+// checkObligations flags every object still held when a path leaves
+// the function at the given line.
+func (w *poolWalker) checkObligations(st *poolState, line int) {
+	for obj, pos := range st.held {
+		if !w.deferRel[obj] {
+			w.leak(pos, line)
+		}
+	}
+}
+
+// block walks one statement list, mutating st along the fall-through
+// path. It reports whether every path through the list terminated
+// (return or branch) before reaching the end.
+func (w *poolWalker) block(stmts []ast.Stmt, st *poolState) bool {
+	for _, stmt := range stmts {
+		if w.stmt(stmt, st) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt interprets one statement; true means the path terminates here.
+func (w *poolWalker) stmt(stmt ast.Stmt, st *poolState) bool {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		w.assign(s, st)
+	case *ast.DeclStmt:
+		w.declStmt(s, st)
+	case *ast.ExprStmt:
+		w.exprStmt(s, st)
+	case *ast.DeferStmt:
+		// Handled by the deferReleased pre-scan.
+	case *ast.GoStmt:
+		w.goStmt(s, st)
+	case *ast.ReturnStmt:
+		w.returnStmt(s, st)
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave this block; the loop walker owns
+		// the rest of that path.
+		return true
+	case *ast.IfStmt:
+		return w.ifStmt(s, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.loopBody(s.Body, st)
+	case *ast.RangeStmt:
+		w.loopBody(s.Body, st)
+	case *ast.SwitchStmt:
+		return w.clauses(st, s.Init, s.Body.List, false)
+	case *ast.TypeSwitchStmt:
+		return w.clauses(st, s.Init, s.Body.List, false)
+	case *ast.SelectStmt:
+		return w.clauses(st, nil, s.Body.List, true)
+	case *ast.BlockStmt:
+		return w.block(s.List, st)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	}
+	return false
+}
+
+// declStmt handles `var x = acquire()`.
+func (w *poolWalker) declStmt(s *ast.DeclStmt, st *poolState) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok || len(vs.Values) != 1 || !isAcquireExpr(w.pkg, w.acquirers, vs.Values[0]) {
+			continue
+		}
+		for _, name := range vs.Names {
+			if obj := w.pkg.Info.Defs[name]; obj != nil && name.Name != "_" {
+				st.held[obj] = vs.Values[0].Pos()
+			}
+		}
+	}
+}
+
+// assign interprets bindings, derivations, releases-by-overwrite, and
+// stores that transfer or escape a held object.
+func (w *poolWalker) assign(s *ast.AssignStmt, st *poolState) {
+	// Acquisition binding: x := pool.Get().(T) / sc, ok := getScratch().
+	if len(s.Rhs) == 1 && isAcquireExpr(w.pkg, w.acquirers, s.Rhs[0]) {
+		lhs := s.Lhs[0]
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			if l.Name == "_" {
+				w.diag(s.Pos(), "pooled acquisition is discarded: bind it and release it with Put")
+				return
+			}
+			if obj := identObj(w.pkg, l); obj != nil {
+				w.kill(obj, st)
+				st.held[obj] = s.Rhs[0].Pos()
+			}
+		case *ast.SelectorExpr:
+			w.diag(s.Pos(), "pooled object acquired directly into a field: bind it locally and release it with Put")
+		default:
+			// Acquired straight into a container element: ownership
+			// leaves local analysis.
+		}
+		return
+	}
+
+	// General assignment: check each stored value and each overwritten
+	// target.
+	for i, lhs := range s.Lhs {
+		var rhs ast.Expr
+		if len(s.Rhs) == len(s.Lhs) {
+			rhs = s.Rhs[i]
+		} else if len(s.Rhs) == 1 {
+			rhs = s.Rhs[0]
+		}
+		if rhs != nil {
+			w.store(lhs, rhs, st, s.Pos())
+		}
+	}
+}
+
+// kill drops tracking for an overwritten local. The overwrite itself
+// is not a finding: `sc, _ := pool.Get().(*T); if sc == nil { sc =
+// &T{} }` legitimately replaces a nil Get result, and a genuine drop
+// still surfaces as a missing Put at the function's exits.
+func (w *poolWalker) kill(obj types.Object, st *poolState) {
+	delete(st.held, obj)
+	delete(st.derived, obj)
+}
+
+// store interprets `lhs = rhs` for one pair.
+func (w *poolWalker) store(lhs, rhs ast.Expr, st *poolState, pos token.Pos) {
+	var rhsField bool
+	rhsObj := rootObj(w.pkg, rhs, &rhsField)
+	rhsRoot, rhsVia, rhsLive := st.liveRoot(rhsObj)
+
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := identObj(w.pkg, l)
+		if obj == nil {
+			return
+		}
+		// append(local, held) and composite literals holding a pooled
+		// object transfer ownership into a local container.
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+				for _, arg := range call.Args {
+					var via bool
+					if root, _, live := st.liveRoot(rootObj(w.pkg, arg, &via)); live {
+						delete(st.held, root)
+					}
+				}
+			}
+		}
+		if lit, ok := ast.Unparen(rhs).(*ast.CompositeLit); ok {
+			ast.Inspect(lit, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if root, _, live := st.liveRoot(identObj(w.pkg, id)); live {
+						delete(st.held, root)
+					}
+				}
+				return true
+			})
+		}
+		w.kill(obj, st)
+		if rhsLive {
+			st.derived[obj] = derivation{root: rhsRoot, viaField: rhsVia || rhsField}
+		}
+	case *ast.SelectorExpr:
+		// Storing into a field: fine when the base is the scratch
+		// itself (filling its internals); an escape when a held object
+		// is written into longer-lived state.
+		var baseField bool
+		baseObj := rootObj(w.pkg, l.X, &baseField)
+		if _, _, baseLive := st.liveRoot(baseObj); baseLive {
+			return
+		}
+		if rhsLive {
+			w.diag(pos, "pooled object in %s is stored into a struct field: scratch must not outlive its function", w.funcName)
+			delete(st.held, rhsRoot)
+		}
+	case *ast.IndexExpr:
+		var baseField bool
+		baseObj := rootObj(w.pkg, l.X, &baseField)
+		_, _, baseLive := st.liveRoot(baseObj)
+		if rhsLive && !baseLive {
+			if baseField {
+				w.diag(pos, "pooled object in %s is stored into a struct-owned container: scratch must not outlive its function", w.funcName)
+			}
+			// Stored into a local container: ownership transfers out
+			// of local analysis.
+			delete(st.held, rhsRoot)
+		}
+	case *ast.StarExpr:
+		// *p = held: treat like an ident overwrite of nothing tracked.
+	}
+}
+
+// exprStmt interprets a bare call: releases and discarded acquisitions.
+func (w *poolWalker) exprStmt(s *ast.ExprStmt, st *poolState) {
+	call, ok := s.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if arg, ok := releaseArg(w.pkg, w.releasers, call); ok {
+		var via bool
+		if root, _, live := st.liveRoot(rootObj(w.pkg, arg, &via)); live {
+			delete(st.held, root)
+		}
+		return
+	}
+	if isAcquireExpr(w.pkg, w.acquirers, s.X) {
+		w.diag(s.Pos(), "pooled acquisition is discarded: bind it and release it with Put")
+	}
+}
+
+// goStmt flags held objects crossing into a spawned goroutine, by
+// capture or by argument.
+func (w *poolWalker) goStmt(s *ast.GoStmt, st *poolState) {
+	reported := make(map[types.Object]bool)
+	flag := func(id *ast.Ident) {
+		obj := identObj(w.pkg, id)
+		if root, _, live := st.liveRoot(obj); live && !reported[root] {
+			reported[root] = true
+			w.diag(s.Pos(), "pooled object %s is captured by a goroutine spawned in %s: the scratch outlives the request that owns it", id.Name, w.funcName)
+		}
+	}
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				flag(id)
+			}
+			return true
+		})
+	}
+	for _, arg := range s.Call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				flag(id)
+			}
+			return true
+		})
+	}
+}
+
+// returnStmt transfers whole held objects named in the results to the
+// caller (the acquire-helper idiom), flags returns of a scratch's
+// internals, and checks the path's remaining obligations.
+func (w *poolWalker) returnStmt(s *ast.ReturnStmt, st *poolState) {
+	for _, res := range s.Results {
+		var via bool
+		obj := rootObj(w.pkg, res, &via)
+		root, rootVia, live := st.liveRoot(obj)
+		if !live {
+			// Composite literal results may carry held objects out.
+			ast.Inspect(res, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if r, _, l := st.liveRoot(identObj(w.pkg, id)); l {
+						delete(st.held, r)
+					}
+				}
+				return true
+			})
+			continue
+		}
+		if via || rootVia {
+			w.diag(s.Pos(), "internals of a pooled scratch escape %s via return: copy the data out instead", w.funcName)
+		}
+		delete(st.held, root)
+	}
+	w.checkObligations(st, w.pkg.Fset.Position(s.Pos()).Line)
+}
+
+// ifStmt walks both arms and merges the fall-through outcomes.
+func (w *poolWalker) ifStmt(s *ast.IfStmt, st *poolState) bool {
+	if s.Init != nil {
+		w.stmt(s.Init, st)
+	}
+	thenSt := st.clone()
+	thenTerm := w.block(s.Body.List, thenSt)
+	elseSt := st.clone()
+	elseTerm := false
+	if s.Else != nil {
+		elseTerm = w.stmt(s.Else, elseSt)
+	}
+	switch {
+	case thenTerm && elseTerm:
+		return true
+	case thenTerm:
+		*st = *elseSt
+	case elseTerm:
+		*st = *thenSt
+	default:
+		*st = *thenSt
+		st.merge(elseSt)
+	}
+	return false
+}
+
+// loopBody walks a loop body once. Objects acquired inside the body
+// must be resolved by the end of the iteration; releases observed in
+// the body are credited to the surrounding path.
+func (w *poolWalker) loopBody(body *ast.BlockStmt, st *poolState) {
+	entry := st.clone()
+	bodySt := st.clone()
+	terminated := w.block(body.List, bodySt)
+	if !terminated {
+		for obj, pos := range bodySt.held {
+			if _, before := entry.held[obj]; !before && !w.deferRel[obj] {
+				w.leak(pos, w.pkg.Fset.Position(body.Rbrace).Line)
+				delete(bodySt.held, obj)
+			}
+		}
+	}
+	// Post-loop state: keep only objects still held on both the
+	// zero-iteration and the through-body path is too lenient for
+	// leaks and too strict for releases; credit body releases (the
+	// steady-state path) while dropping body-local bindings.
+	for obj := range entry.held {
+		if _, ok := bodySt.held[obj]; !ok {
+			delete(st.held, obj)
+		}
+	}
+	for obj := range entry.derived {
+		if _, ok := bodySt.derived[obj]; !ok {
+			delete(st.derived, obj)
+		}
+	}
+}
+
+// clauses walks switch/select clause bodies from a common entry state
+// and merges every fall-through outcome (plus the no-match path when
+// there is no default clause).
+func (w *poolWalker) clauses(st *poolState, init ast.Stmt, list []ast.Stmt, isSelect bool) bool {
+	if init != nil {
+		w.stmt(init, st)
+	}
+	entry := st.clone()
+	var outs []*poolState
+	hasDefault := false
+	for _, clause := range list {
+		var body []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				w.stmt(c.Comm, entry.clone()) // comm ops don't bind pooled objects
+			}
+			body = c.Body
+		default:
+			continue
+		}
+		cs := entry.clone()
+		if !w.block(body, cs) {
+			outs = append(outs, cs)
+		}
+	}
+	if !hasDefault && !isSelect {
+		outs = append(outs, entry)
+	}
+	if len(outs) == 0 {
+		return len(list) > 0
+	}
+	*st = *outs[0]
+	for _, o := range outs[1:] {
+		st.merge(o)
+	}
+	return false
+}

@@ -178,5 +178,17 @@ func DefaultSuite() []Analyzer {
 				"echoimage/internal/aimage",
 			},
 		}),
+
+		// ── dataflow analyzers (lint v2) ──
+		// Pool ownership, goroutine lifecycle, guarded-field locking,
+		// and proto-code switch exhaustiveness run tree-wide: the
+		// invariants they encode hold everywhere, not per layer.
+		NewPoolCheck(),
+		NewGoroutineLife(),
+		NewLockGuard(),
+		NewCodeSwitch(CodeSwitchConfig{
+			ProtoPath:  "echoimage/internal/proto",
+			CodePrefix: "Code",
+		}),
 	}
 }

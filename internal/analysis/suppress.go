@@ -26,10 +26,11 @@ type ignoreComment struct {
 	rule string
 }
 
-// applyIgnores filters diagnostics of pkg through its lint-ignore
-// comments and appends a diagnostic for every ignore comment that names
-// an unknown rule or omits its reason.
-func applyIgnores(pkg *Package, diags []Diagnostic, known map[string]bool) []Diagnostic {
+// evalIgnores resolves diagnostics of pkg against its lint-ignore
+// comments: matched diagnostics come back marked Suppressed (not
+// dropped), and every ignore comment that names an unknown rule or
+// omits its reason becomes an additional unsuppressed finding.
+func evalIgnores(pkg *Package, diags []Diagnostic, known map[string]bool) []Finding {
 	var ignores []ignoreComment
 	var bad []Diagnostic
 	for _, file := range pkg.Files {
@@ -61,16 +62,16 @@ func applyIgnores(pkg *Package, diags []Diagnostic, known map[string]bool) []Dia
 			}
 		}
 	}
-	diags = suppress(diags, ignores)
-	return append(diags, bad...)
+	findings := suppress(diags, ignores)
+	for _, b := range bad {
+		findings = append(findings, Finding{Diagnostic: b})
+	}
+	return findings
 }
 
-// suppress drops, for each ignore, the diagnostics of its rule on the
+// suppress marks, for each ignore, the diagnostics of its rule on the
 // comment's own line — or, when that line has none, on the next line.
-func suppress(diags []Diagnostic, ignores []ignoreComment) []Diagnostic {
-	if len(ignores) == 0 {
-		return diags
-	}
+func suppress(diags []Diagnostic, ignores []ignoreComment) []Finding {
 	type key struct {
 		file string
 		line int
@@ -88,11 +89,12 @@ func suppress(diags []Diagnostic, ignores []ignoreComment) []Diagnostic {
 		}
 		dead[k] = true
 	}
-	kept := diags[:0]
+	findings := make([]Finding, 0, len(diags))
 	for _, d := range diags {
-		if !dead[key{d.Pos.Filename, d.Pos.Line, d.Rule}] {
-			kept = append(kept, d)
-		}
+		findings = append(findings, Finding{
+			Diagnostic: d,
+			Suppressed: dead[key{d.Pos.Filename, d.Pos.Line, d.Rule}],
+		})
 	}
-	return kept
+	return findings
 }

@@ -1,0 +1,36 @@
+// Package fakeproto is a codeswitch fixture: the declared closed code
+// set, plus an in-package classifier switch that is missing a code.
+package fakeproto
+
+// The declared stable code set.
+const (
+	CodeBad      = "bad_request"
+	CodeInternal = "internal"
+	CodeRetry    = "retry"
+)
+
+// unrelated is not part of the set (wrong prefix).
+const unrelated = "not_a_code"
+
+// Retryable switches over the set inside the declaring package and
+// forgets CodeInternal without a default: violation.
+func Retryable(code string) bool {
+	switch code {
+	case CodeRetry:
+		return true
+	case CodeBad:
+		return false
+	}
+	return false
+}
+
+// Exhaustive covers every declared code with no default: clean.
+func Exhaustive(code string) bool {
+	switch code {
+	case CodeBad, CodeInternal:
+		return false
+	case CodeRetry:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,49 @@
+// Package switchpkg is a codeswitch fixture: client-side classification
+// switches over an imported code set.
+package switchpkg
+
+import (
+	"echoimage/internal/analysis/testdata/src/codeswitch/fakeproto"
+)
+
+// Classify names one code and omits the rest without a default:
+// violation.
+func Classify(code string) int {
+	switch code {
+	case fakeproto.CodeRetry:
+		return 1
+	}
+	return 0
+}
+
+// WithDefault names one code but defaults the rest: clean.
+func WithDefault(code string) int {
+	switch code {
+	case fakeproto.CodeBad:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// PlainStrings switches over strings that are not code constants — the
+// near-miss the analyzer must not claim: clean.
+func PlainStrings(s string) int {
+	switch s {
+	case "bad_request", "internal":
+		return 1
+	}
+	return 0
+}
+
+// Mixed covers the whole set even though one case also carries an
+// inline literal: clean.
+func Mixed(code string) int {
+	switch code {
+	case fakeproto.CodeBad, "stray":
+		return 1
+	case fakeproto.CodeInternal, fakeproto.CodeRetry:
+		return 2
+	}
+	return 0
+}

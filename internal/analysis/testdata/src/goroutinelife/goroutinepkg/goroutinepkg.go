@@ -1,0 +1,85 @@
+// Package goroutinepkg is a goroutinelife fixture: spawns with and
+// without a termination story.
+package goroutinepkg
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Server exercises method spawns.
+type Server struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+// loop has no stop signal and no WaitGroup registration.
+func (s *Server) loop() {
+	for {
+		time.Sleep(time.Second)
+	}
+}
+
+// pump drains a work channel: terminates when the channel closes.
+func (s *Server) pump(work chan int) {
+	for range work {
+	}
+}
+
+// Leak spawns an unbounded closure and an unbounded method: two
+// violations.
+func Leak(s *Server) {
+	go func() {
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+	go s.loop()
+}
+
+// Unresolvable spawns a function value the analyzer cannot see into:
+// violation.
+func Unresolvable(f func()) {
+	go f()
+}
+
+// CtxWatcher selects on the caller's context: clean.
+func CtxWatcher(ctx context.Context, s *Server) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-s.stop:
+		}
+	}()
+}
+
+// Tracked registers with the owner's WaitGroup: clean.
+func Tracked(s *Server) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		time.Sleep(time.Second)
+	}()
+}
+
+// Waiter blocks on the WaitGroup itself — bounded by the tracked set:
+// clean.
+func Waiter(s *Server, idle chan struct{}) {
+	go func() {
+		s.wg.Wait()
+		close(idle)
+	}()
+}
+
+// Workers range over the work channel (method spawn): clean.
+func Workers(s *Server, work chan int) {
+	go s.pump(work)
+}
+
+// StopReceive blocks on a plain stop channel receive: clean.
+func StopReceive(s *Server) {
+	go func() {
+		<-s.stop
+	}()
+}

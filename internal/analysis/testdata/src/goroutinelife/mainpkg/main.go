@@ -1,0 +1,14 @@
+// Command mainpkg is a goroutinelife fixture: package main is exempt,
+// so its unbounded goroutine is not a finding.
+package main
+
+import "time"
+
+func main() {
+	go func() {
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+	select {}
+}

@@ -1,0 +1,23 @@
+// Package jsonpkg is a driver fixture for -json and -rules: one live
+// goroutinelife violation, one suppressed poolcheck violation, and the
+// package itself is undeclared in the layering DAG (a third, live rule).
+package jsonpkg
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new([]byte) }}
+
+// LeakSuppressed drops a pooled buffer on purpose; the audited ignore
+// keeps the finding visible to -json while keeping the exit code clean.
+func LeakSuppressed() {
+	buf := pool.Get().(*[]byte) //echoimage:lint-ignore poolcheck fixture: suppressed leak stays visible in -json
+	_ = buf
+}
+
+// Spawn leaks an unstoppable goroutine: the live finding.
+func Spawn() {
+	go func() {
+		for {
+		}
+	}()
+}

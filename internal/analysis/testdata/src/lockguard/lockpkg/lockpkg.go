@@ -1,0 +1,128 @@
+// Package lockpkg is a lockguard fixture: guarded-by annotations
+// honored and violated, the Locked-suffix and local-construction
+// exemptions, and the atomic all-or-nothing rule.
+package lockpkg
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Store is the annotated struct under test.
+type Store struct {
+	mu sync.Mutex
+	// guarded by mu
+	items map[string]int
+	count int // guarded by mu (trailing-comment form)
+
+	rw sync.RWMutex
+	// guarded by rw
+	snapshot []int
+}
+
+// NewStore touches fields of a locally constructed, unpublished value:
+// clean.
+func NewStore() *Store {
+	s := &Store{items: make(map[string]int)}
+	s.count = 0
+	return s
+}
+
+// Get holds the lock via defer: clean.
+func (s *Store) Get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.items[k]
+}
+
+// Snapshot reads under RLock: clean.
+func (s *Store) Snapshot() []int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return append([]int(nil), s.snapshot...)
+}
+
+// Put brackets the access with manual Lock/Unlock: clean (the
+// near-miss lockguard must not claim).
+func (s *Store) Put(k string, v int) {
+	s.mu.Lock()
+	s.items[k] = v
+	s.count++
+	s.mu.Unlock()
+}
+
+// Racy reads without any lock: violation.
+func (s *Store) Racy(k string) int {
+	return s.items[k]
+}
+
+// UnlockTooSoon releases before the access: violation.
+func (s *Store) UnlockTooSoon(k string) int {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return s.items[k]
+}
+
+// addLocked runs with mu held by its caller: exempt by convention.
+func (s *Store) addLocked(k string, v int) {
+	s.items[k] = v
+	s.count++
+}
+
+// Fill drives the Locked helper under the lock: clean.
+func (s *Store) Fill(keys []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, k := range keys {
+		s.addLocked(k, i)
+	}
+}
+
+// Keys reads a guarded field inside a sort closure while the enclosing
+// function holds the lock — the closure inherits the lock state: clean.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.items))
+	for k := range s.items {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return s.count >= 0 && keys[i] < keys[j] })
+	return keys
+}
+
+// GoroutineRace reads a guarded field from a goroutine spawned while
+// the lock is held — the spawner's lock does not transfer: violation.
+func (s *Store) GoroutineRace(done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		_ = s.count
+		close(done)
+	}()
+}
+
+// Broken carries annotations that rotted: one names a missing field,
+// one names a non-mutex. Both are findings.
+type Broken struct {
+	// guarded by missing
+	a int
+	b int
+	// guarded by b
+	c int
+}
+
+// Flags exercises the atomic rule.
+type Flags struct {
+	n int64
+}
+
+// Bump updates atomically.
+func (f *Flags) Bump() { atomic.AddInt64(&f.n, 1) }
+
+// ReadAtomic loads atomically: clean.
+func (f *Flags) ReadAtomic() int64 { return atomic.LoadInt64(&f.n) }
+
+// ReadRacy reads the atomically-updated field plainly: violation.
+func (f *Flags) ReadRacy() int64 { return f.n }

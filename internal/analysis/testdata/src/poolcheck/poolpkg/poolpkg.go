@@ -1,0 +1,153 @@
+// Package poolpkg is a poolcheck fixture: the acquire/release helper
+// idiom used correctly and every way of getting it wrong.
+package poolpkg
+
+import (
+	"errors"
+	"sync"
+)
+
+var errFail = errors.New("fail")
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+type scratch struct {
+	buf []float64
+}
+
+type engine struct {
+	pool  sync.Pool
+	stash *scratch
+}
+
+// getScratch is the acquire helper: returning the pooled object is the
+// sanctioned ownership transfer, and replacing a nil Get result is not
+// a drop.
+func (e *engine) getScratch() *scratch {
+	sc, _ := e.pool.Get().(*scratch)
+	if sc == nil {
+		sc = &scratch{}
+	}
+	return sc
+}
+
+// putScratch is the release helper.
+func (e *engine) putScratch(sc *scratch) { e.pool.Put(sc) }
+
+// Balanced releases via defer: clean.
+func (e *engine) Balanced() float64 {
+	sc := e.getScratch()
+	defer e.putScratch(sc)
+	return sum(sc.buf)
+}
+
+// ManualPaths releases explicitly on both the error and success path:
+// clean (the near-miss poolcheck must not claim).
+func (e *engine) ManualPaths(fail bool) (float64, error) {
+	sc := e.getScratch()
+	if fail {
+		e.putScratch(sc)
+		return 0, errFail
+	}
+	v := sum(sc.buf)
+	e.putScratch(sc)
+	return v, nil
+}
+
+// LeakOnError misses the release on the early return: violation.
+func (e *engine) LeakOnError(fail bool) (float64, error) {
+	sc := e.getScratch()
+	if fail {
+		return 0, errFail
+	}
+	v := sum(sc.buf)
+	e.putScratch(sc)
+	return v, nil
+}
+
+// FieldEscape parks the scratch in long-lived state: violation.
+func (e *engine) FieldEscape() {
+	sc := e.getScratch()
+	e.stash = sc
+}
+
+// GoEscape hands the scratch to a goroutine that outlives the request:
+// violation (the Put afterwards does not make it safe).
+func (e *engine) GoEscape(done chan struct{}) {
+	sc := e.getScratch()
+	go func() {
+		sum(sc.buf)
+		close(done)
+	}()
+	e.putScratch(sc)
+}
+
+// InternalsEscape returns a field of the pooled scratch: violation —
+// the next request's Get hands the same slice to someone else.
+func (e *engine) InternalsEscape() []float64 {
+	sc := e.getScratch()
+	defer e.putScratch(sc)
+	return sc.buf
+}
+
+// Discarded drops the Get result on the floor: violation.
+func (e *engine) Discarded() {
+	e.pool.Get()
+}
+
+// LoopBalanced acquires and releases per iteration: clean.
+func (e *engine) LoopBalanced(n int) float64 {
+	var total float64
+	for i := 0; i < n; i++ {
+		sc := e.getScratch()
+		total += sum(sc.buf)
+		e.putScratch(sc)
+	}
+	return total
+}
+
+// LoopLeak acquires per iteration and never releases: violation.
+func (e *engine) LoopLeak(n int) float64 {
+	var total float64
+	for i := 0; i < n; i++ {
+		sc := e.getScratch()
+		total += sum(sc.buf)
+	}
+	return total
+}
+
+// TransferContainer hands ownership into a local container and
+// releases through it: accepted (container flow leaves local
+// analysis).
+func (e *engine) TransferContainer() {
+	var planes []*scratch
+	sc := e.getScratch()
+	planes = append(planes, sc)
+	for _, p := range planes {
+		e.putScratch(p)
+	}
+}
+
+// plan exercises the deref idiom of the RFFT scratch pools: the pooled
+// object is a *[]float64, work happens on the deref, the pointer goes
+// back: clean.
+type plan struct {
+	scratch sync.Pool
+}
+
+func (p *plan) run() float64 {
+	zp := p.scratch.Get().(*[]float64)
+	z := *zp
+	for i := range z {
+		z[i] = 0
+	}
+	v := sum(z)
+	p.scratch.Put(zp)
+	return v
+}

@@ -1,0 +1,43 @@
+// Package dataflowpkg is a suppression fixture for the dataflow rules:
+// poolcheck, goroutinelife and lockguard interact with lint-ignore the
+// same way the expression rules do — one rule, one line, audited reason.
+package dataflowpkg
+
+import "sync"
+
+var bufs = sync.Pool{New: func() any { return new([]byte) }}
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// SuppressedLeak leaks a pooled buffer under an audited ignore: silenced.
+func SuppressedLeak() {
+	//echoimage:lint-ignore poolcheck fixture: deliberate leak under audit
+	b := bufs.Get().(*[]byte)
+	_ = b
+}
+
+// WrongRuleIgnore carries a goroutinelife ignore on a lockguard
+// violation: the lockguard finding survives.
+func WrongRuleIgnore(c *counter) int {
+	//echoimage:lint-ignore goroutinelife fixture: wrong rule for this line
+	return c.n
+}
+
+// OnePerLine spawns two unstoppable goroutines with one ignore: the
+// first is silenced, the second survives.
+func OnePerLine() {
+	//echoimage:lint-ignore goroutinelife fixture: first spawn accepted
+	go func() { println(1) }()
+	go func() { println(2) }()
+}
+
+// UnknownRule misspells the rule name: the ignore itself is a finding
+// and the poolcheck leak below it survives.
+func UnknownRule() {
+	//echoimage:lint-ignore poolchk fixture: misspelled rule name
+	b := bufs.Get().(*[]byte)
+	_ = b
+}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"echoimage/internal/proto"
 )
@@ -255,6 +257,54 @@ func TestChaosDrainRemoveLossless(t *testing.T) {
 	for _, row := range report.Shards {
 		if row.EnrolledUsers == 0 || row.OwnedUsers == 0 {
 			t.Errorf("rebalance row %+v shows an empty shard after handoff", row)
+		}
+	}
+}
+
+// TestCloseAwaitsHandoffPipeline pins the router's shutdown contract:
+// Close must wait for running drain handoff pipelines, not just cancel
+// them — a cancelled-but-still-running pipeline touching the shard
+// table or pools after Close returns is a use-after-close.
+func TestCloseAwaitsHandoffPipeline(t *testing.T) {
+	st := newShardState()
+	scanStarted := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	blocking := func(env *proto.Envelope) *proto.Envelope {
+		if env.Type == proto.TypeStatusRequest && strings.HasPrefix(env.RequestID, "ho-") {
+			once.Do(func() { close(scanStarted) })
+			<-release
+		}
+		return st.handler(env)
+	}
+	f := newFakeShard(t, blocking)
+	r, _ := startRouter(t, Options{Retry: fastRetry}, f)
+
+	if err := r.DrainShard("s0"); err != nil {
+		t.Fatal(err)
+	}
+	<-scanStarted
+
+	closed := make(chan struct{})
+	go func() {
+		r.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a handoff pipeline was still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not return after the handoff pipeline finished")
+	}
+	for _, h := range r.Handoffs() {
+		if h.Status == HandoffRunning {
+			t.Errorf("handoff for %s still recorded as running after Close", h.Shard)
 		}
 	}
 }

@@ -83,10 +83,14 @@ func (r *Router) startHandoff(id string) {
 	h := &Handoff{Shard: id, Status: HandoffRunning}
 	r.handoffs[id] = h
 	r.hoMu.Unlock()
+	r.hoWg.Add(1)
 	go r.runHandoff(id, h)
 }
 
+// runHandoff stops when r.lifeCtx is cancelled (every pipeline round
+// trip threads it), and Close awaits the hoWg registration below.
 func (r *Router) runHandoff(id string, h *Handoff) {
+	defer r.hoWg.Done()
 	r.met.handoffsActive.Inc()
 	defer r.met.handoffsActive.Dec()
 	err := r.handoffShard(r.lifeCtx, id, h)

@@ -31,8 +31,8 @@ type pool struct {
 	maxIdle int
 
 	mu     sync.Mutex
-	free   []*upstream
-	closed bool
+	free   []*upstream // guarded by mu
+	closed bool        // guarded by mu
 }
 
 // defaultMaxIdle bounds each shard's free list when Options.PoolSize is

@@ -79,13 +79,17 @@ type Router struct {
 	stop    context.CancelFunc
 
 	poolMu sync.Mutex
-	pools  map[string]*pool
+	pools  map[string]*pool // guarded by poolMu
 
 	hoMu     sync.Mutex
-	handoffs map[string]*Handoff
+	handoffs map[string]*Handoff // guarded by hoMu
+	// hoWg counts running handoff pipelines so Close can await them:
+	// a cancelled-but-still-running pipeline touching the shard table
+	// after teardown is a use-after-close.
+	hoWg sync.WaitGroup
 
 	connMu sync.Mutex
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]struct{} // guarded by connMu
 }
 
 // New builds a router over an empty shard table; register shards with
@@ -124,11 +128,13 @@ func New(opts Options) *Router {
 	return r
 }
 
-// Close cancels the router's background work (drain handoff pipelines)
-// and closes every idle upstream connection. Client connections being
-// served are not interrupted; Serve's own shutdown handles those.
+// Close cancels the router's background work (drain handoff pipelines),
+// waits for it to finish, and closes every idle upstream connection.
+// Client connections being served are not interrupted; Serve's own
+// shutdown handles those.
 func (r *Router) Close() {
 	r.stop()
+	r.hoWg.Wait()
 	r.poolMu.Lock()
 	pools := make([]*pool, 0, len(r.pools))
 	for _, p := range r.pools {

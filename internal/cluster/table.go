@@ -70,8 +70,8 @@ func (s Shard) State() State {
 // actually moved — state flips (drain, health) never reshuffle the ring.
 type Table struct {
 	mu      sync.RWMutex
-	shards  map[string]*Shard
-	version int
+	shards  map[string]*Shard // guarded by mu
+	version int               // guarded by mu
 }
 
 // NewTable returns an empty table.

@@ -105,7 +105,7 @@ type Server struct {
 	stopping    atomic.Bool
 
 	connMu sync.Mutex
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]struct{} // guarded by connMu
 }
 
 // New builds a server with default options around a sensing pipeline.

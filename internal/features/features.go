@@ -150,6 +150,7 @@ func NewExtractor(cfg Config) (*Extractor, error) {
 // arbitrary; every user overwrites each element before reading it (or
 // zeroes explicitly).
 func (e *Extractor) getBuf(n int) []float64 {
+	//echoimage:lint-ignore poolcheck undersized buffers are discarded on purpose: the pool converges to full-size planes instead of churning grows, and the GC reclaims the small ones
 	bp := e.bufs.Get().(*[]float64)
 	b := *bp
 	if cap(b) < n {

@@ -67,9 +67,19 @@ const (
 )
 
 // RetryableCode reports whether a stable error code marks a transient
-// failure worth retrying with backoff.
+// failure worth retrying with backoff. The switch is exhaustive over the
+// code set on purpose — no default — so adding a code without deciding
+// its retry semantics is a lint failure (codeswitch), not a silent
+// "permanent". Unknown strings (peer newer than us) are treated as
+// permanent: retrying an error we cannot classify amplifies load.
 func RetryableCode(code string) bool {
-	return code == CodeUnavailable || code == CodeOverloaded
+	switch code {
+	case CodeUnavailable, CodeOverloaded:
+		return true
+	case CodeBadRequest, CodeUnknownType, CodeNotTrained, CodeProcess, CodeTrain, CodeInternal:
+		return false
+	}
+	return false
 }
 
 // Envelope frames every message. Version and RequestID are v2 additions;

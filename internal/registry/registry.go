@@ -92,22 +92,23 @@ type Registry struct {
 	stats atomic.Pointer[Stats]
 
 	mu         sync.Mutex
-	enrollment map[int][]*core.AcousticImage
-	numImages  int
+	enrollment map[int][]*core.AcousticImage // guarded by mu
+	numImages  int                           // guarded by mu
 	// trainedCounts records, per user, how many enrollment images the live
 	// model was fit from. Image slices are append-only, so an unchanged
 	// count means unchanged data; a snapshot whose only delta is brand-new
 	// users qualifies for incremental extension. Nil when the live model's
 	// training set is unknown (loaded from disk, or custom trainer).
+	// guarded by mu
 	trainedCounts map[int]int
-	gen           int // bumped on every enrollment write
-	dirty         bool
-	trainGen      int // generation of the in-flight train's snapshot
-	cancel        context.CancelFunc
-	waiters       []waiter
-	lastErr       error
-	version       int
-	closed        bool
+	gen           int                // bumped on every enrollment write; guarded by mu
+	dirty         bool               // guarded by mu
+	trainGen      int                // generation of the in-flight train's snapshot; guarded by mu
+	cancel        context.CancelFunc // guarded by mu
+	waiters       []waiter           // guarded by mu
+	lastErr       error              // guarded by mu
+	version       int                // guarded by mu
+	closed        bool               // guarded by mu
 
 	wake chan struct{}
 	quit chan struct{}

@@ -174,8 +174,8 @@ type family struct {
 // callers normally register once at startup and keep the pointers.
 type Registry struct {
 	mu       sync.Mutex
-	families []*family
-	index    map[string]*family
+	families []*family          // guarded by mu
+	index    map[string]*family // guarded by mu
 }
 
 // NewRegistry builds an empty registry.

@@ -65,9 +65,9 @@ func (t *Trace) Finish(errCode string) TraceRecord {
 // takes a short mutex — once per request, off the stage hot path.
 type TraceLog struct {
 	mu   sync.Mutex
-	ring []TraceRecord
-	next int
-	full bool
+	ring []TraceRecord // guarded by mu
+	next int           // guarded by mu
+	full bool          // guarded by mu
 }
 
 // NewTraceLog builds a ring holding the last n traces (minimum 1).
